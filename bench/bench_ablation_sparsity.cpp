@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Ablation (paper §IV-B1): sparsity-aware MLE encodings. zkPHIRE stores
+ * enable MLEs as bitstreams and witness MLEs with per-tile offset buffers
+ * (~90% of entries as single bits); this bench disables the encodings
+ * (every slot fetched dense) and measures the SumCheck slowdown across
+ * bandwidth tiers, plus the same effect on witness-commitment MSMs.
+ */
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sim/msm_unit.hpp"
+#include "sim/sumcheck_unit.hpp"
+
+using namespace zkphire;
+using namespace zkphire::sim;
+
+int
+main()
+{
+    const unsigned mu = 24;
+    std::printf("Ablation: sparsity-aware encodings on/off "
+                "(Vanilla ZeroCheck, 2^24)\n\n");
+
+    gates::Gate gate = gates::tableIGate(20);
+    PolyShape sparse_shape = PolyShape::fromGate(gate);
+    PolyShape dense_shape = sparse_shape;
+    for (auto &role : dense_shape.roles)
+        role = gates::SlotRole::Dense;
+
+    std::printf("%10s | %12s %12s %8s | %14s %14s\n", "BW GB/s",
+                "sparse ms", "dense ms", "slowdown", "sparse GB", "dense GB");
+    for (double bw : {64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0}) {
+        SumcheckUnitConfig cfg;
+        SumcheckWorkload s_wl, d_wl;
+        s_wl.shape = sparse_shape;
+        s_wl.numVars = mu;
+        d_wl.shape = dense_shape;
+        d_wl.numVars = mu;
+        auto s = simulateSumcheck(cfg, s_wl, bw);
+        auto d = simulateSumcheck(cfg, d_wl, bw);
+        std::printf("%10.0f | %12.2f %12.2f %7.2fx | %14.2f %14.2f\n", bw,
+                    s.timeMs(), d.timeMs(), d.timeMs() / s.timeMs(),
+                    s.trafficBytes / 1e9, d.trafficBytes / 1e9);
+    }
+
+    std::printf("\nWitness MSM with/without the 0/1 scalar fast path "
+                "(2^24 points, 32 PEs):\n");
+    MsmUnitConfig mcfg;
+    double n = std::pow(2.0, 24.0);
+    for (double bw : {256.0, 1024.0}) {
+        auto sparse = simulateMsm(mcfg, MsmWorkload::sparse(n), bw);
+        auto dense = simulateMsm(mcfg, MsmWorkload::dense(n), bw);
+        std::printf("  %5.0f GB/s: sparse %.2f ms, dense-treated %.2f ms "
+                    "(%.2fx)\n",
+                    bw, sparse.timeMs(), dense.timeMs(),
+                    dense.timeMs() / sparse.timeMs());
+    }
+    std::printf("\nClaim check (paper): the encodings matter most at low "
+                "bandwidth, where round-1/2 streaming of the original "
+                "tables dominates; at HBM-scale bandwidth the unit is "
+                "compute-bound and the gap narrows.\n");
+    return 0;
+}

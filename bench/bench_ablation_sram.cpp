@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Ablation (paper §VI-B3, "The On-Chip Memory Trade-off"): starting from a
+ * ~100 mm^2 Pareto design, compare spending incremental area on (a) one
+ * more product lane vs (b) 4x larger SumCheck scratchpads. The paper finds
+ * the compute upgrade Pareto-optimal and the SRAM upgrade not: larger
+ * scratchpads help, but not per mm^2.
+ */
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sim/chip.hpp"
+
+using namespace zkphire;
+using namespace zkphire::sim;
+
+int
+main()
+{
+    ProtocolWorkload wl = ProtocolWorkload::jellyfish(24);
+
+    // The paper's reference point: 8 MSM PEs, 4 SumCheck PEs (4 EEs,
+    // 7 PLs), 4K-word SRAM banks, 512 GB/s.
+    ChipConfig base;
+    base.msm.numPEs = 8;
+    base.msm.windowBits = 9;
+    base.msm.pointsPerPe = 4096;
+    base.sumcheck.numPEs = 4;
+    base.sumcheck.numEEs = 4;
+    base.sumcheck.numPLs = 7;
+    base.sumcheck.bankWords = 4096;
+    base.permq.numPEs = 2;
+    base.bandwidthGBs = 512;
+    base.forest.numTrees = ChipConfig::derivedForestTrees(base.sumcheck);
+    base.setFixedPrime(true);
+
+    ChipConfig more_pl = base;
+    more_pl.sumcheck.numPLs = 8;
+    more_pl.forest.numTrees =
+        ChipConfig::derivedForestTrees(more_pl.sumcheck);
+
+    ChipConfig more_sram = base;
+    more_sram.sumcheck.bankWords = 16384;
+
+    auto report = [&](const char *name, const ChipConfig &cfg) {
+        auto run = simulateProtocol(cfg, wl);
+        double area = cfg.areaMm2();
+        std::printf("%-28s %10.1f ms %10.1f mm^2\n", name, run.totalMs,
+                    area);
+        return std::pair{run.totalMs, area};
+    };
+
+    std::printf("Ablation: SRAM size vs product lanes at iso-ish area "
+                "(2^24 Jellyfish, 512 GB/s)\n\n");
+    auto [t0, a0] = report("base (7 PL, 4K banks)", base);
+    auto [t1, a1] = report("+1 product lane (8 PL)", more_pl);
+    auto [t2, a2] = report("4x SRAM (16K banks)", more_sram);
+
+    std::printf("\nmarginal efficiency (ms saved per added mm^2):\n");
+    std::printf("  +1 PL : %.4f ms/mm^2 (%.1f ms for %.1f mm^2)\n",
+                (t0 - t1) / (a1 - a0), t0 - t1, a1 - a0);
+    std::printf("  +SRAM : %.4f ms/mm^2 (%.1f ms for %.1f mm^2)\n",
+                (t0 - t2) / (a2 - a0), t0 - t2, a2 - a0);
+    std::printf("\nClaim check (paper): both upgrades help, but the "
+                "product-lane upgrade buys more performance per area, so "
+                "Pareto-optimal designs pick small scratchpads + more "
+                "compute.\n");
+    return 0;
+}

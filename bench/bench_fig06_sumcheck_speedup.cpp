@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Figure 6 reproduction: speedups of the programmable SumCheck unit over a
+ * 4-threaded CPU for Table I polynomials 0-19 (the "training set") at
+ * N = 2^24, across bandwidth tiers 64 GB/s - 4 TB/s.
+ *
+ * For each bandwidth the design point is chosen by the paper's objective
+ * (lambda = 0.8 weighting utilization vs geomean slowdown) under the
+ * 37 mm^2 area constraint (the 7nm-scaled area of 4 EPYC cores). The paper
+ * reports geomean speedups 61x / 123x / 244x / 485x / 955x / 1328x / 2209x
+ * and mean utilizations ~0.39-0.48 across the seven tiers.
+ */
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sim/baseline.hpp"
+#include "sim/dse.hpp"
+
+using namespace zkphire;
+using namespace zkphire::sim;
+using zkphire::bench::geomean;
+
+int
+main()
+{
+    const unsigned mu = 24;
+    std::vector<PolyShape> polys;
+    std::vector<std::string> names;
+    for (const gates::Gate &g : gates::trainingSetGates()) {
+        polys.push_back(PolyShape::fromGate(g));
+        names.push_back("Poly " + std::to_string(g.id));
+    }
+
+    CpuModel cpu4;
+    cpu4.threads = 4;
+    std::vector<double> cpu_ms;
+    for (const PolyShape &p : polys)
+        cpu_ms.push_back(cpu4.sumcheckMs(p, mu));
+
+    const double paper_geomean[] = {61, 123, 244, 485, 955, 1328, 2209};
+    const double paper_util[] = {0.405, 0.404, 0.402, 0.399,
+                                 0.392, 0.482, 0.441};
+    const double bandwidths[] = {64, 128, 256, 512, 1024, 2048, 4096};
+
+    std::printf("Figure 6: programmable SumCheck speedup over 4-thread CPU "
+                "(N = 2^24, 37 mm^2 cap, lambda = 0.8)\n\n");
+    std::printf("%-10s", "poly");
+    for (double bw : bandwidths)
+        std::printf(" %9.0fGB", bw);
+    std::printf("\n");
+
+    std::vector<std::vector<double>> speedups(std::size(bandwidths));
+    std::vector<SumcheckDsePick> picks;
+    SumcheckDseOptions opts;
+    opts.numVars = mu;
+    for (std::size_t b = 0; b < std::size(bandwidths); ++b) {
+        picks.push_back(pickSumcheckDesign(polys, bandwidths[b], opts));
+        for (std::size_t i = 0; i < polys.size(); ++i)
+            speedups[b].push_back(cpu_ms[i] / picks[b].runtimesMs[i]);
+    }
+
+    for (std::size_t i = 0; i < polys.size(); ++i) {
+        std::printf("%-10s", names[i].c_str());
+        for (std::size_t b = 0; b < std::size(bandwidths); ++b)
+            std::printf(" %11.0f", speedups[b][i]);
+        std::printf("\n");
+    }
+
+    std::printf("\n%-10s", "geomean");
+    for (std::size_t b = 0; b < std::size(bandwidths); ++b)
+        std::printf(" %11.0f", geomean(speedups[b]));
+    std::printf("\n%-10s", "paper");
+    for (double pg : paper_geomean)
+        std::printf(" %11.0f", pg);
+    std::printf("\n\n%-10s", "mean util");
+    for (const auto &p : picks)
+        std::printf(" %11.3f", p.meanUtilization);
+    std::printf("\n%-10s", "paper");
+    for (double pu : paper_util)
+        std::printf(" %11.3f", pu);
+    std::printf("\n\nchosen designs (PEs/EEs/PLs/bankWords):\n");
+    for (std::size_t b = 0; b < std::size(bandwidths); ++b)
+        std::printf("  %4.0f GB/s: %2u/%u/%u/%zu  (area %.1f mm^2)\n",
+                    bandwidths[b], picks[b].cfg.numPEs, picks[b].cfg.numEEs,
+                    picks[b].cfg.numPLs, picks[b].cfg.bankWords,
+                    picks[b].cfg.areaMm2(defaultTech()));
+    std::printf("\nNote: paper's \"most designs pick 2 EEs and 5 PLs\" -- "
+                "utilization-weighted objective favors narrow EEs.\n");
+    return 0;
+}

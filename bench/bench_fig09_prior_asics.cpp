@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Figure 9 reproduction: the three protocol SumChecks (ZeroCheck,
+ * PermCheck, OpenCheck) at N = 2^24 Vanilla gates on zkSpeed, zkSpeed+,
+ * and zkPHIRE at iso-area / iso-bandwidth (2 TB/s, arbitrary-prime
+ * multipliers, ~30-35 mm^2), plus zkPHIRE running Jellyfish workloads at
+ * 2x / 4x / 8x gate-count reductions.
+ *
+ * Paper annotations (speedup over zkSpeed / zkSpeed+): zkPHIRE Vanilla
+ * total 1.25x/0.73x ("only 30% slower than zkSpeed+ while programmable");
+ * Jellyfish 2x/4x/8x totals 1.01x/0.58x, 2.01x/1.17x, 4.03x/2.33x.
+ */
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sim/dse.hpp"
+#include "sim/forest.hpp"
+
+using namespace zkphire;
+using namespace zkphire::sim;
+
+namespace {
+
+struct SumcheckTriple {
+    double zero, perm, open;
+    double total() const { return zero + perm + open; }
+};
+
+/** Run the three protocol SumChecks on a unit config. */
+SumcheckTriple
+runTriple(const SumcheckUnitConfig &cfg, unsigned mu, bool jellyfish,
+          bool fused, double bw)
+{
+    auto run = [&](int row, bool fuse) {
+        PolyShape shape = PolyShape::fromGate(gates::tableIGate(row));
+        SumcheckWorkload wl;
+        wl.shape = shape;
+        wl.numVars = mu;
+        wl.fusedFrSlot = fuse ? int(shape.numSlots) - 1 : -1;
+        double ms = simulateSumcheck(cfg, wl, bw).timeMs();
+        if (!fuse) {
+            // Separate Build-MLE pass: write f_r then read it back.
+            double n = std::pow(2.0, double(mu));
+            ms += 2.0 * n * 32.0 / (bw * 1e6);
+        }
+        return ms;
+    };
+    SumcheckTriple t;
+    t.zero = run(jellyfish ? 22 : 20, fused);
+    t.perm = run(jellyfish ? 23 : 21, fused);
+    t.open = run(24, false);
+    return t;
+}
+
+} // namespace
+
+int
+main()
+{
+    const double bw = 2048;
+    const Tech &tech = defaultTech();
+
+    // zkSpeed / zkSpeed+: fixed-function Vanilla datapath (all 9+2 MLEs in
+    // parallel, II = 1) with a resident global scratchpad; arbitrary-prime
+    // multipliers; PE count set for ~30.8 mm^2 of SumCheck+Update area.
+    SumcheckUnitConfig zk;
+    zk.numEEs = 11; // widest Vanilla-protocol polynomial (PermCheck row 21)
+    zk.numPLs = 6;  // degree 5 + 1 evaluations
+    zk.fixedPrime = false;
+    zk.globalScratchpad = true;
+    zk.fullyUnrolled = true; // fixed-function: all terms concurrent
+    zk.fuseUpdates = false;
+    zk.bankWords = 1 << 15;
+    // Unrolled Vanilla-protocol lane: shared extensions across terms plus
+    // exactly the product/update multipliers the widest polynomial (the
+    // PermCheck row) needs: 11 updates + sum_t (d_t - 1) * 6 points ~= 59.
+    zk.unrolledMulsPerPe = 59;
+    // PE count chosen for zkSpeed's reported 30.8 mm^2 SumCheck+Update
+    // compute area (its global MLE scratchpad is accounted separately,
+    // matching the paper's "we believe this comparison is fair").
+    zk.numPEs = 1;
+    while (true) {
+        SumcheckUnitConfig next = zk;
+        next.numPEs = zk.numPEs + 1;
+        if (next.computeAreaMm2(tech) > 30.8)
+            break;
+        zk = next;
+    }
+    SumcheckUnitConfig zkp = zk;
+    zkp.fuseUpdates = true; // zkSpeed+ pipelines updates into extensions
+
+    // zkPHIRE: programmable unit chosen by the Fig. 6 objective on the
+    // training set at iso-area (35.24 mm^2 vs zkSpeed's 30.8 mm^2).
+    std::vector<PolyShape> training;
+    for (const gates::Gate &g : gates::trainingSetGates())
+        training.push_back(PolyShape::fromGate(g));
+    SumcheckDseOptions opts;
+    opts.numVars = 24;
+    opts.areaCapMm2 = 35.24;
+    opts.lambda = 0.8;
+    opts.fixedPrime = false;
+    SumcheckDsePick pick = pickSumcheckDesign(training, bw, opts);
+
+    std::printf("Figure 9: protocol SumChecks at N=2^24 Vanilla, 2 TB/s, "
+                "arbitrary primes\n");
+    std::printf("zkSpeed/+ : %u PEs fixed-function (%.1f mm^2); zkPHIRE: "
+                "%u/%u/%u programmable (%.1f mm^2)\n\n",
+                zk.numPEs, zk.areaMm2(tech), pick.cfg.numPEs,
+                pick.cfg.numEEs, pick.cfg.numPLs,
+                pick.cfg.areaMm2(tech));
+
+    SumcheckTriple s_zk = runTriple(zk, 24, false, false, bw);
+    SumcheckTriple s_zkp = runTriple(zkp, 24, false, false, bw);
+    SumcheckTriple s_ph = runTriple(pick.cfg, 24, false, true, bw);
+    SumcheckTriple s_j2 = runTriple(pick.cfg, 23, true, true, bw);
+    SumcheckTriple s_j4 = runTriple(pick.cfg, 22, true, true, bw);
+    SumcheckTriple s_j8 = runTriple(pick.cfg, 21, true, true, bw);
+
+    auto print_row = [&](const char *name, const SumcheckTriple &t) {
+        std::printf("%-24s %9.2f %9.2f %9.2f %9.2f   %5.2fx/%5.2fx\n", name,
+                    t.zero, t.perm, t.open, t.total(),
+                    s_zk.total() / t.total(), s_zkp.total() / t.total());
+    };
+    std::printf("%-24s %9s %9s %9s %9s   %s\n", "design (runtime ms)",
+                "ZeroChk", "PermChk", "OpenChk", "Total",
+                "vs zkSpeed/zkSpeed+");
+    print_row("zkSpeed    (Vanilla)", s_zk);
+    print_row("zkSpeed+   (Vanilla)", s_zkp);
+    print_row("zkPHIRE    (Vanilla)", s_ph);
+    print_row("zkPHIRE (Jellyfish 2x)", s_j2);
+    print_row("zkPHIRE (Jellyfish 4x)", s_j4);
+    print_row("zkPHIRE (Jellyfish 8x)", s_j8);
+
+    std::printf("\nPaper totals over zkSpeed/zkSpeed+: Vanilla 1.25x/0.73x, "
+                "J2x 1.01x/0.58x, J4x 2.01x/1.17x, J8x 4.03x/2.33x.\n");
+    std::printf("Shape checks: zkPHIRE(Vanilla) within ~30%% of zkSpeed+ "
+                "(programmability cost), Jellyfish 2x roughly break-even, "
+                "4x clearly ahead (paper: \"a 4x reduction is sufficient to "
+                "outperform Vanilla on both\").\n");
+    return 0;
+}

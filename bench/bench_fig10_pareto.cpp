@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Figure 10 + Table IV reproduction: runtime-area design space for a 2^24
+ * Jellyfish-gate workload across seven bandwidth tiers (full Table III
+ * sweep), with per-tier and global Pareto frontiers.
+ *
+ * Paper reference points (Table IV): A 71.4 ms / 599 mm^2 / 4 TB/s /
+ * 2560x, B 92.9 / 455 / 2 TB/s / 1969x, C 171.3 / 230 / 1 TB/s / 1067x,
+ * D 328.5 / 118 / 512 GB/s / 557x, G 1716.8 / 25 / 128 GB/s / 107x.
+ * CPU baseline: 182.896 s.
+ */
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sim/baseline.hpp"
+#include "sim/dse.hpp"
+
+using namespace zkphire;
+using namespace zkphire::sim;
+
+int
+main(int argc, char **argv)
+{
+    const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+    ProtocolWorkload wl = ProtocolWorkload::jellyfish(24);
+    const double paper_cpu_ms = 182896.0;
+    CpuModel cpu;
+    double model_cpu_ms = cpu.protocolMs(wl);
+
+    DseGrid grid = quick ? DseGrid::coarse() : DseGrid{};
+    std::printf("Figure 10 / Table IV: DSE for 2^24 Jellyfish gates "
+                "(%s grid)\n",
+                quick ? "coarse" : "full Table III");
+    DseResult res = runDse(wl, grid, 24);
+    std::printf("evaluated %zu design points\n\n", res.evaluatedPoints);
+
+    std::printf("Per-bandwidth Pareto frontiers (best point each):\n");
+    std::printf("%10s %12s %12s %10s %28s\n", "BW (GB/s)", "best ms",
+                "area mm^2", "speedup", "config (scPE/EE/PL msmPE/w)");
+    for (const auto &[bw, tier] : res.perBandwidth) {
+        if (tier.empty())
+            continue;
+        const DsePoint &best = tier.front();
+        std::printf("%10.0f %12.1f %12.1f %9.0fx  %10u/%u/%u %8u/%u\n", bw,
+                    best.runtimeMs, best.areaMm2,
+                    paper_cpu_ms / best.runtimeMs,
+                    best.cfg.sumcheck.numPEs, best.cfg.sumcheck.numEEs,
+                    best.cfg.sumcheck.numPLs, best.cfg.msm.numPEs,
+                    best.cfg.msm.windowBits);
+    }
+
+    std::printf("\nGlobal Pareto frontier (Table IV analogue; speedups vs "
+                "paper CPU %.1f s):\n",
+                paper_cpu_ms / 1000);
+    std::printf("%12s %12s %10s %10s\n", "runtime ms", "area mm^2",
+                "BW GB/s", "speedup");
+    // Thin the frontier for printing: every ~8th point plus endpoints.
+    const auto &gp = res.globalPareto;
+    for (std::size_t i = 0; i < gp.size();
+         i += std::max<std::size_t>(1, gp.size() / 16)) {
+        std::printf("%12.1f %12.1f %10.0f %9.0fx\n", gp[i].runtimeMs,
+                    gp[i].areaMm2, gp[i].cfg.bandwidthGBs,
+                    paper_cpu_ms / gp[i].runtimeMs);
+    }
+    if (!gp.empty())
+        std::printf("%12.1f %12.1f %10.0f %9.0fx  (min-area end)\n",
+                    gp.back().runtimeMs, gp.back().areaMm2,
+                    gp.back().cfg.bandwidthGBs,
+                    paper_cpu_ms / gp.back().runtimeMs);
+
+    std::printf("\nPaper Table IV: A 71.4ms/599mm^2/4T, B 92.9/455/2T, "
+                "C 171.3/230/1T, D 328.5/118/512G, G 1716.8/25/128G\n");
+    std::printf("Model CPU for this workload: %.1f s (paper 182.9 s)\n",
+                model_cpu_ms / 1000);
+
+    std::printf("\nShape checks:\n");
+    if (!res.perBandwidth.empty()) {
+        double s_1t = 0, s_512 = 0, s_256 = 0;
+        double ms_1t = 0, ms_512 = 0, ms_256 = 0;
+        for (const auto &[bw, tier] : res.perBandwidth) {
+            if (tier.empty())
+                continue;
+            if (bw == 1024) { ms_1t = tier.front().runtimeMs; s_1t = 1; }
+            if (bw == 512) { ms_512 = tier.front().runtimeMs; s_512 = 1; }
+            if (bw == 256) { ms_256 = tier.front().runtimeMs; s_256 = 1; }
+        }
+        if (s_1t && s_512 && s_256)
+            std::printf("  1 TB/s best vs 512/256 GB/s best: %.2fx / %.2fx "
+                        "(paper: ~2x and ~3x)\n",
+                        ms_512 / ms_1t, ms_256 / ms_1t);
+    }
+    return 0;
+}

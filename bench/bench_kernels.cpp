@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Kernel microbenchmarks (google-benchmark): field arithmetic, hashing,
+ * curve operations, MSM, MLE folding, and SumCheck rounds on the host CPU.
+ * These ground the CPU baseline model's fitted constants (ns per modular
+ * multiplication, ns per point addition, streaming bandwidth).
+ */
+#include <benchmark/benchmark.h>
+
+#include "ec/msm.hpp"
+#include "gates/gate_library.hpp"
+#include "hash/keccak.hpp"
+#include "poly/virtual_poly.hpp"
+#include "sumcheck/prover.hpp"
+
+using namespace zkphire;
+using ff::Fr;
+using ff::Rng;
+
+static void
+BM_FrMul(benchmark::State &state)
+{
+    Rng rng(1);
+    Fr a = Fr::random(rng), b = Fr::random(rng);
+    for (auto _ : state) {
+        a *= b;
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_FrMul);
+
+static void
+BM_FrAdd(benchmark::State &state)
+{
+    Rng rng(2);
+    Fr a = Fr::random(rng), b = Fr::random(rng);
+    for (auto _ : state) {
+        a += b;
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_FrAdd);
+
+static void
+BM_FrInverse(benchmark::State &state)
+{
+    Rng rng(3);
+    Fr a = Fr::random(rng);
+    for (auto _ : state) {
+        a = a.inverse();
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_FrInverse);
+
+static void
+BM_FqMul(benchmark::State &state)
+{
+    Rng rng(4);
+    ff::Fq a = ff::Fq::random(rng), b = ff::Fq::random(rng);
+    for (auto _ : state) {
+        a *= b;
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_FqMul);
+
+static void
+BM_Sha3_256(benchmark::State &state)
+{
+    std::vector<std::uint8_t> msg(std::size_t(state.range(0)), 0xa5);
+    for (auto _ : state) {
+        auto d = hash::sha3_256(msg);
+        benchmark::DoNotOptimize(d);
+    }
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha3_256)->Arg(32)->Arg(1024);
+
+static void
+BM_G1AddMixed(benchmark::State &state)
+{
+    Rng rng(5);
+    ec::G1Jacobian p = ec::G1Jacobian::fromAffine(ec::randomG1(rng));
+    ec::G1Affine q = ec::randomG1(rng);
+    for (auto _ : state) {
+        p = p.addMixed(q);
+        benchmark::DoNotOptimize(p);
+    }
+}
+BENCHMARK(BM_G1AddMixed);
+
+static void
+BM_G1Double(benchmark::State &state)
+{
+    Rng rng(6);
+    ec::G1Jacobian p = ec::G1Jacobian::fromAffine(ec::randomG1(rng));
+    for (auto _ : state) {
+        p = p.dbl();
+        benchmark::DoNotOptimize(p);
+    }
+}
+BENCHMARK(BM_G1Double);
+
+static void
+BM_MsmPippenger(benchmark::State &state)
+{
+    const std::size_t n = std::size_t(state.range(0));
+    Rng rng(7);
+    std::vector<Fr> scalars;
+    std::vector<ec::G1Affine> points;
+    ec::G1Affine base = ec::randomG1(rng);
+    for (std::size_t i = 0; i < n; ++i) {
+        scalars.push_back(Fr::random(rng));
+        // Cheap point variety: reuse a handful of random points.
+        points.push_back(i % 8 == 0 ? ec::randomG1(rng) : base);
+    }
+    for (auto _ : state) {
+        auto r = ec::msmPippenger(scalars, points);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MsmPippenger)->Arg(256)->Arg(1024)->Arg(4096);
+
+static void
+BM_MleFold(benchmark::State &state)
+{
+    Rng rng(8);
+    poly::Mle m = poly::Mle::random(unsigned(state.range(0)), rng);
+    Fr r = Fr::random(rng);
+    for (auto _ : state) {
+        poly::Mle copy = m;
+        copy.fixFirstVarInPlace(r);
+        benchmark::DoNotOptimize(copy);
+    }
+    state.SetItemsProcessed(state.iterations() * (m.size() / 2));
+}
+BENCHMARK(BM_MleFold)->Arg(12)->Arg(16);
+
+static void
+BM_EqTableBuild(benchmark::State &state)
+{
+    Rng rng(9);
+    std::vector<Fr> point;
+    for (int i = 0; i < state.range(0); ++i)
+        point.push_back(Fr::random(rng));
+    for (auto _ : state) {
+        auto t = poly::Mle::eqTable(point);
+        benchmark::DoNotOptimize(t);
+    }
+}
+BENCHMARK(BM_EqTableBuild)->Arg(12)->Arg(16);
+
+static void
+BM_SumcheckProver(benchmark::State &state)
+{
+    const unsigned mu = unsigned(state.range(0));
+    Rng rng(10);
+    gates::Gate gate = gates::tableIGate(int(state.range(1)));
+    auto tables = gate.randomTables(mu, rng);
+    for (auto _ : state) {
+        hash::Transcript tr("bench");
+        auto out = sumcheck::prove(
+            poly::VirtualPoly(gate.expr, tables), tr);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations() * (1u << mu));
+}
+BENCHMARK(BM_SumcheckProver)
+    ->Args({12, 20}) // Vanilla ZeroCheck polynomial
+    ->Args({12, 22}) // Jellyfish ZeroCheck polynomial
+    ->Args({14, 1}); // Spartan
+
+BENCHMARK_MAIN();

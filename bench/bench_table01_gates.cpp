@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Table I: the polynomial constraint library. Prints every row's expanded
+ * structure (slots, terms, composite degree, unique MLEs, per-point
+ * multiply count) — the workload definitions every other bench consumes.
+ */
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sim/sumcheck_sched.hpp"
+
+using namespace zkphire;
+using namespace zkphire::sim;
+
+int
+main()
+{
+    std::printf("Table I: polynomial constraints (expanded)\n\n");
+    std::printf("%-3s %-24s %6s %6s %7s %7s %9s\n", "ID", "name", "slots",
+                "terms", "degree", "unique", "muls/pt");
+    for (const gates::Gate &g : gates::tableIGates()) {
+        PolyShape shape = PolyShape::fromGate(g);
+        std::printf("%-3d %-24s %6zu %6zu %7zu %7zu %9zu\n", g.id,
+                    g.name.c_str(), g.expr.numSlots(), g.expr.numTerms(),
+                    g.degree(), shape.uniqueSlots().size(),
+                    g.expr.mulsPerPoint());
+    }
+    std::printf("\nHigh-degree sweep family f = q1w1 + q2w2 + "
+                "q3*w1^(d-1)*w2 + qc:\n");
+    for (unsigned d : {2u, 8u, 16u, 30u}) {
+        gates::Gate g = gates::sweepGate(d);
+        std::printf("  d=%-3u degree %zu, %zu terms\n", d, g.degree(),
+                    g.expr.numTerms());
+    }
+    return 0;
+}

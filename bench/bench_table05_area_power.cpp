@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Table V reproduction: area and average power of the 294 mm^2 zkPHIRE
+ * exemplar (32 MSM PEs, 80 Multifunction trees, 16 SumCheck PEs with
+ * 7 EEs / 5 PLs, 2 TB/s HBM3, fixed-prime multipliers), plus the modular
+ * multiplier census used in Table IX.
+ */
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sim/chip.hpp"
+
+using namespace zkphire;
+using namespace zkphire::sim;
+
+int
+main()
+{
+    const Tech &tech = defaultTech();
+    ChipConfig cfg = ChipConfig::exemplar();
+    AreaBreakdown a = cfg.areaBreakdown(tech);
+    PowerBreakdown p = cfg.powerBreakdown(tech);
+
+    std::printf("Table V: zkPHIRE exemplar area and power\n\n");
+    std::printf("%-28s %12s %12s %12s %12s\n", "module", "model mm^2",
+                "paper mm^2", "model W", "paper W");
+    struct {
+        const char *name;
+        double am, ap, wm, wp;
+    } rows[] = {
+        {"MSM (32 PEs)", a.msm, 105.69, p.msm, 58.99},
+        {"Multifunc Forest (80)", a.forest, 48.18, p.forest, 40.69},
+        {"SumCheck (16 PEs)", a.sumcheck, 16.65, p.sumcheck, 14.43},
+        {"Other", a.other, 10.64, p.other, 6.17},
+        {"Total Compute", a.compute(), 181.15,
+         p.msm + p.forest + p.sumcheck + p.other, 120.29},
+        {"SRAM", a.sram, 27.55, p.sram, 3.56},
+        {"Interconnect", a.interconnect, 26.42, p.interconnect, 14.83},
+        {"HBM3 (2 PHYs)", a.hbmPhy, 59.20, p.hbmPhy, 63.60},
+        {"Total", a.total(), 294.32, p.total(), 202.28},
+    };
+    for (const auto &r : rows)
+        std::printf("%-28s %12.2f %12.2f %12.2f %12.2f\n", r.name, r.am,
+                    r.ap, r.wm, r.wp);
+
+    std::printf("\nModular multiplier census (Table IX: 2267 for zkPHIRE): "
+                "model %u\n",
+                cfg.totalModmuls());
+    std::printf("Multiplier areas (7nm): 255b %.3f/%.3f mm^2 (arb/fixed), "
+                "381b %.3f/%.3f (paper: 0.133/0.073, 0.314/0.162)\n",
+                tech.modmul255(false), tech.modmul255(true),
+                tech.modmul381(false), tech.modmul381(true));
+    std::printf("Proof size model: Vanilla 2^24 %.2f KB, Jellyfish 2^19 "
+                "%.2f KB (paper: 5.09 / 4.41 KB; ours is larger because we "
+                "serialize both OpenChecks and all round evaluations -- see "
+                "EXPERIMENTS.md)\n",
+                estimateProofBytes(GateSystem::Vanilla, 24) / 1024.0,
+                estimateProofBytes(GateSystem::Jellyfish, 19) / 1024.0);
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Table VII reproduction: Jellyfish-gate runtimes on the exemplar zkPHIRE
+ * (294 mm^2, fixed primes, ZeroCheck masking) up to 2^30 nominal (Vanilla)
+ * constraints, with speedups over the 32-thread CPU. Paper: geomean 1486x,
+ * scaling to 2^30 nominal gates while proofs stay a few KB.
+ */
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sim/baseline.hpp"
+#include "sim/workloads.hpp"
+
+using namespace zkphire;
+using namespace zkphire::sim;
+using zkphire::bench::geomean;
+
+int
+main()
+{
+    ChipConfig cfg = ChipConfig::exemplar();
+    CpuModel cpu;
+
+    struct Row {
+        const char *name;
+        int mu_vanilla; // nominal problem size
+        unsigned mu;    // jellyfish gates
+        double paper_cpu, paper_zkphire;
+    };
+    const Row rows[] = {
+        {"ZCash", 17, 15, 701, 0.750},
+        {"Zexe Recursive Ckt", 22, 17, 1951, 1.440},
+        {"Rollup of 10 Pvt Tx", 23, 18, 3339, 2.269},
+        {"Rollup of 25 Pvt Tx", 24, 19, 6161, 3.874},
+        {"2^12 Rescue Hashes", 21, 20, 11532, 7.114},
+        {"Rollup of 50 Pvt Tx", 25, 20, 11533, 7.114},
+        {"Rollup of 100 Pvt Tx", 26, 21, 24071, 13.614},
+        {"Rollup of 1600 Pvt Tx", 30, 25, 355406, 207.673},
+        {"zkEVM", -1, 27, 1.5e6, 828.948},
+    };
+
+    std::printf("Table VII: Jellyfish runtimes on the 294 mm^2 exemplar "
+                "(fixed primes, masking)\n\n");
+    std::printf("%-22s %5s %4s | %11s %11s | %10s %10s | %9s %9s\n",
+                "workload", "nomV", "muJ", "CPU ms", "(paper)", "zkPHIRE",
+                "(paper)", "speedup", "(paper)");
+
+    std::vector<double> model_speedups, paper_speedups;
+    for (const Row &r : rows) {
+        auto wl = ProtocolWorkload::jellyfish(r.mu);
+        double c = cpu.protocolMs(wl);
+        double zp = simulateProtocol(cfg, wl).totalMs;
+        model_speedups.push_back(c / zp);
+        paper_speedups.push_back(r.paper_cpu / r.paper_zkphire);
+        char nv[16];
+        if (r.mu_vanilla > 0)
+            std::snprintf(nv, sizeof(nv), "2^%d", r.mu_vanilla);
+        else
+            std::snprintf(nv, sizeof(nv), "-");
+        std::printf("%-22s %5s %4u | %11.0f %11.0f | %10.3f %10.3f | "
+                    "%8.0fx %8.0fx\n",
+                    r.name, nv, r.mu, c, r.paper_cpu, zp, r.paper_zkphire,
+                    c / zp, r.paper_cpu / r.paper_zkphire);
+    }
+    std::printf("\ngeomean speedup: model %.0fx, paper %.0fx (paper "
+                "headline: 1486x)\n",
+                geomean(model_speedups), geomean(paper_speedups));
+    std::printf("proof sizes: 2^19 J %.2f KB, 2^25 J %.2f KB, 2^27 J %.2f "
+                "KB (succinct at every scale)\n",
+                estimateProofBytes(GateSystem::Jellyfish, 19) / 1024,
+                estimateProofBytes(GateSystem::Jellyfish, 25) / 1024,
+                estimateProofBytes(GateSystem::Jellyfish, 27) / 1024);
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared formatting helpers for the experiment-reproduction benches. Every
+ * bench prints the paper's reference numbers (where published) next to the
+ * model's output so EXPERIMENTS.md can record paper-vs-measured.
+ */
+#ifndef ZKPHIRE_BENCH_UTIL_HPP
+#define ZKPHIRE_BENCH_UTIL_HPP
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace zkphire::bench {
+
+inline void
+header(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void
+row(const std::string &line)
+{
+    std::printf("%s\n", line.c_str());
+}
+
+inline std::string
+fmt(double v, int prec = 3)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+inline std::string
+fmtSpeedup(double v)
+{
+    char buf[64];
+    if (v >= 100)
+        std::snprintf(buf, sizeof(buf), "%.0fx", v);
+    else
+        std::snprintf(buf, sizeof(buf), "%.2fx", v);
+    return buf;
+}
+
+/** Geometric mean of a vector of positive values. */
+inline double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0;
+    double acc = 0;
+    for (double x : xs)
+        acc += std::log(x);
+    return std::exp(acc / double(xs.size()));
+}
+
+} // namespace zkphire::bench
+
+#endif // ZKPHIRE_BENCH_UTIL_HPP

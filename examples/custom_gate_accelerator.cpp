@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Programmability demo: define a custom Halo2-style elliptic-curve gate,
+ * run a real SumCheck over it (prove + verify), then "program" the
+ * modeled zkPHIRE SumCheck unit with the same polynomial and inspect the
+ * schedule the compiler produces (Fig. 2 graph decomposition), the lane
+ * mapping (Fig. 3), and the projected speedup over a CPU at scale.
+ *
+ * This is the paper's core pitch: one accelerator, arbitrary gates —
+ * including ones invented after tape-out.
+ */
+#include <cstdio>
+
+#include "poly/sym_poly.hpp"
+#include "poly/virtual_poly.hpp"
+#include "sim/baseline.hpp"
+#include "sim/program.hpp"
+#include "sim/sumcheck_unit.hpp"
+#include "sim/unit_executor.hpp"
+#include "sumcheck/prover.hpp"
+#include "sumcheck/verifier.hpp"
+
+using namespace zkphire;
+using ff::Fr;
+using poly::SymPoly;
+
+int
+main()
+{
+    // ---- 1. Define a custom gate nobody hard-wired ----------------------
+    // A "double-and-add step" constraint mixing a curve check with a
+    // conditional: q * (bit * (y^2 - x^3 - 5) + (1 - bit) * (x_out - x^2)).
+    poly::GateExpr expr("custom double-and-add");
+    auto q = SymPoly::var(expr.addSlot("q"));
+    auto bit = SymPoly::var(expr.addSlot("bit"));
+    auto x = SymPoly::var(expr.addSlot("x"));
+    auto y = SymPoly::var(expr.addSlot("y"));
+    auto x_out = SymPoly::var(expr.addSlot("x_out"));
+    SymPoly curve = y * y - x * x * x - SymPoly::constant(5);
+    SymPoly sel = bit * curve +
+                  (SymPoly::constant(1) - bit) * (x_out - x * x);
+    (q * sel).addTo(expr);
+    std::printf("gate: %zu slots, %zu terms, composite degree %zu\n",
+                expr.numSlots(), expr.numTerms(), expr.degree());
+
+    // ---- 2. Run the real protocol on it ---------------------------------
+    const unsigned mu = 12;
+    ff::Rng rng(7);
+    std::vector<poly::Mle> tables;
+    for (std::size_t s = 0; s < expr.numSlots(); ++s)
+        tables.push_back(poly::Mle::random(mu, rng));
+    poly::VirtualPoly vp(expr, tables);
+    Fr claim = vp.sumOverHypercube();
+
+    hash::Transcript tp("custom-gate");
+    auto out = sumcheck::prove(poly::VirtualPoly(expr, tables), tp, 4);
+    hash::Transcript tv("custom-gate");
+    auto res = sumcheck::verify(expr, out.proof, mu, tv);
+    std::printf("SumCheck over 2^%u gates: claim %s..., verifier %s, "
+                "proof %zu B\n",
+                mu, out.proof.claimedSum.toBig().toHex().substr(0, 18).c_str(),
+                res.ok ? "ACCEPTED" : "REJECTED", out.proof.sizeBytes());
+    if (out.proof.claimedSum != claim || !res.ok)
+        return 1;
+
+    // ---- 3. Program the modeled accelerator with the same gate ----------
+    sim::PolyShape shape = sim::PolyShape::fromExpr(
+        expr, std::vector<gates::SlotRole>(expr.numSlots(),
+                                           gates::SlotRole::Witness));
+    sim::SumcheckUnitConfig cfg; // 16 PEs, 7 EEs, 5 PLs (exemplar unit)
+    sim::Schedule sched =
+        sim::buildSchedule(shape, cfg.numEEs, cfg.numPLs);
+    std::printf("\ncompiled schedule on %u EEs / %u PLs: %zu nodes, %zu "
+                "Tmp buffer(s)\n",
+                cfg.numEEs, cfg.numPLs, sched.nodes.size(),
+                sched.tmpBuffers);
+    for (std::size_t i = 0; i < sched.nodes.size(); ++i) {
+        const auto &n = sched.nodes[i];
+        std::printf("  node %zu: term %u, %zu occurrences%s%s, fetches "
+                    "%zu new tile(s), II = %u\n",
+                    i, n.term, n.occurrences.size(),
+                    n.usesTmpIn ? ", reads Tmp" : "",
+                    n.writesTmpOut ? ", writes Tmp" : "",
+                    n.freshFetches.size(),
+                    sim::Schedule::initiationInterval(
+                        shape.termDegree(n.term) + 1, cfg.numPLs));
+    }
+
+    // ---- 3b. The controller program the scheduler emits ------------------
+    sim::SumcheckProgram prog = sim::compileProgram(shape, sched);
+    std::printf("\n%s", prog.disassemble().c_str());
+
+    // ---- 3c. Execute the schedule functionally and cross-check ----------
+    hash::Transcript t_hw("custom-gate");
+    sim::ExecutorStats xstats;
+    auto hw = sim::executeOnUnit(poly::VirtualPoly(expr, tables),
+                                 cfg.numEEs, cfg.numPLs, t_hw,
+                                 sim::ScheduleKind::Accumulation, &xstats);
+    bool identical = hw.proof.roundEvals == out.proof.roundEvals &&
+                     hw.proof.finalSlotEvals == out.proof.finalSlotEvals;
+    std::printf("\nfunctional datapath execution: %s the reference prover "
+                "(%llu EE values, %llu PL muls, %llu updates)\n",
+                identical ? "bit-identical to" : "DIVERGES from (BUG!)",
+                (unsigned long long)xstats.extensions,
+                (unsigned long long)xstats.products,
+                (unsigned long long)xstats.updates);
+    if (!identical)
+        return 1;
+
+    // ---- 4. Project performance at deployment scale ---------------------
+    sim::SumcheckWorkload wl;
+    wl.shape = shape;
+    wl.numVars = 24;
+    sim::CpuModel cpu32;
+    std::printf("\nprojected for 2^24 gates:\n");
+    for (double bw : {256.0, 1024.0, 2048.0}) {
+        auto run = sim::simulateSumcheck(cfg, wl, bw);
+        double cpu_ms = cpu32.sumcheckMs(shape, 24);
+        std::printf("  %4.0f GB/s: %8.2f ms on zkPHIRE vs %8.0f ms on "
+                    "32T CPU -> %5.0fx (util %.2f)\n",
+                    bw, run.timeMs(), cpu_ms, cpu_ms / run.timeMs(),
+                    run.utilization);
+    }
+    std::printf("\nNo RTL change was needed for this gate — only a new "
+                "schedule (paper §III-E).\n");
+    return 0;
+}

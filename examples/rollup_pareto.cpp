@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Accelerator sizing demo: given a target application (a rollup of 25
+ * private transactions, 2^19 Jellyfish gates) and an area budget, sweep
+ * the design space and print the runtime-area Pareto frontier plus a
+ * recommended configuration — the workflow a deployment team would run
+ * with this library.
+ */
+#include <cstdio>
+
+#include "sim/baseline.hpp"
+#include "sim/dse.hpp"
+#include "sim/workloads.hpp"
+
+using namespace zkphire;
+using namespace zkphire::sim;
+
+int
+main(int argc, char **argv)
+{
+    double area_budget = argc > 1 ? std::atof(argv[1]) : 150.0;
+    ProtocolWorkload wl = ProtocolWorkload::jellyfish(19);
+    CpuModel cpu;
+    double cpu_ms = cpu.protocolMs(wl);
+
+    std::printf("sizing zkPHIRE for: Rollup of 25 private transactions "
+                "(2^19 Jellyfish gates)\n");
+    std::printf("area budget: %.0f mm^2; 32-thread CPU reference: %.0f "
+                "ms\n\n",
+                area_budget, cpu_ms);
+
+    DseGrid grid; // full Table III sweep
+    DseResult res = runDse(wl, grid, 16);
+
+    std::printf("global Pareto frontier (runtime vs area):\n");
+    std::printf("%12s %10s %9s %8s   %s\n", "runtime ms", "area mm2",
+                "BW GB/s", "speedup", "SC(PE/EE/PL)  MSM(PE/w)");
+    const DsePoint *recommended = nullptr;
+    for (const auto &p : res.globalPareto) {
+        bool fits = p.areaMm2 <= area_budget;
+        if (fits && !recommended)
+            recommended = &p;
+        std::printf("%12.2f %10.1f %9.0f %7.0fx   %u/%u/%u  %u/%u%s\n",
+                    p.runtimeMs, p.areaMm2, p.cfg.bandwidthGBs,
+                    cpu_ms / p.runtimeMs, p.cfg.sumcheck.numPEs,
+                    p.cfg.sumcheck.numEEs, p.cfg.sumcheck.numPLs,
+                    p.cfg.msm.numPEs, p.cfg.msm.windowBits,
+                    fits ? "" : "   (over budget)");
+    }
+
+    if (recommended) {
+        auto run = simulateProtocol(recommended->cfg, wl);
+        auto area = recommended->cfg.areaBreakdown();
+        auto power = recommended->cfg.powerBreakdown();
+        std::printf("\nrecommended design under %.0f mm^2:\n", area_budget);
+        std::printf("  %.2f ms per proof (%.0fx over CPU), %.1f mm^2, "
+                    "%.0f W, %.0f GB/s\n",
+                    run.totalMs, cpu_ms / run.totalMs, area.total(),
+                    power.total(), recommended->cfg.bandwidthGBs);
+        std::printf("  steps: witnessMSM %.2f | gateZC %.2f | wire %.2f | "
+                    "batch %.2f | open %.2f ms (masking hides %.2f)\n",
+                    run.steps.witnessMsm, run.steps.gateZeroCheck,
+                    run.steps.wireIdentity(), run.steps.batchEval,
+                    run.steps.polyOpen(), run.maskedSavingMs);
+        std::printf("  proof size: %.2f KB\n", run.proofBytes / 1024.0);
+        std::printf("  throughput: %.0f proofs/s -> %.0f rollup tx/s\n",
+                    1000.0 / run.totalMs, 25 * 1000.0 / run.totalMs);
+    } else {
+        std::printf("\nno Pareto design fits %.0f mm^2; smallest is %.1f "
+                    "mm^2\n",
+                    area_budget, res.globalPareto.back().areaMm2);
+    }
+    return 0;
+}

@@ -1,0 +1,40 @@
+#include "ec/fixed_base.hpp"
+
+namespace zkphire::ec {
+
+FixedBaseMul::FixedBaseMul(const G1Affine &base)
+{
+    const unsigned num_windows = (unsigned(Fr::modulusBits()) + windowBits - 1)
+                                 / windowBits;
+    table.resize(num_windows);
+    G1Jacobian window_base = G1Jacobian::fromAffine(base);
+    for (unsigned w = 0; w < num_windows; ++w) {
+        G1Jacobian acc = window_base;
+        for (unsigned d = 1; d <= digitsPerWindow; ++d) {
+            table[w][d - 1] = acc;
+            acc = acc.add(window_base);
+        }
+        window_base = acc; // 16 * previous window base
+    }
+}
+
+G1Jacobian
+FixedBaseMul::mul(const Fr &k) const
+{
+    auto bits = k.toBig();
+    G1Jacobian acc = G1Jacobian::identity();
+    const std::size_t scalar_bits = Fr::modulusBits();
+    for (unsigned w = 0; w < table.size(); ++w) {
+        const std::size_t lo = std::size_t(w) * windowBits;
+        if (lo >= scalar_bits)
+            break;
+        const unsigned width =
+            unsigned(std::min<std::size_t>(windowBits, scalar_bits - lo));
+        std::uint64_t digit = bits.bits(lo, width);
+        if (digit)
+            acc = acc.add(table[w][digit - 1]);
+    }
+    return acc;
+}
+
+} // namespace zkphire::ec

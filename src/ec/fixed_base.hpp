@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Fixed-base scalar multiplication with 4-bit precomputed windows.
+ *
+ * SRS generation evaluates thousands of scalar multiples of the one
+ * generator; precomputing d * 2^(4w) * G for every window w and digit d
+ * turns each multiplication into ~64 additions with no doublings.
+ */
+#ifndef ZKPHIRE_EC_FIXED_BASE_HPP
+#define ZKPHIRE_EC_FIXED_BASE_HPP
+
+#include <array>
+#include <vector>
+
+#include "ec/g1.hpp"
+
+namespace zkphire::ec {
+
+/** Precomputed-window multiplier for one fixed base point. */
+class FixedBaseMul
+{
+  public:
+    explicit FixedBaseMul(const G1Affine &base);
+
+    /** k * base. */
+    G1Jacobian mul(const Fr &k) const;
+
+  private:
+    static constexpr unsigned windowBits = 4;
+    static constexpr unsigned digitsPerWindow = (1u << windowBits) - 1;
+    /** table[w][d-1] = d * 2^(4w) * base. */
+    std::vector<std::array<G1Jacobian, digitsPerWindow>> table;
+};
+
+} // namespace zkphire::ec
+
+#endif // ZKPHIRE_EC_FIXED_BASE_HPP

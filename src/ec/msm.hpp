@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Multi-scalar multiplication: s = Sum_i k_i * P_i.
+ *
+ * Pippenger's bucket method (paper §II-B) with windowed scalar slicing; the
+ * dominant kernel of HyperPlonk's Witness Commitment, Wire Identity, and
+ * Polynomial Opening steps. The op-count statistics (point additions and
+ * doublings actually performed, split by dense vs 0/1-trivial scalars) feed
+ * both the MSM hardware model and the CPU baseline calibration, so the
+ * functional kernel and the performance model stay structurally identical.
+ */
+#ifndef ZKPHIRE_EC_MSM_HPP
+#define ZKPHIRE_EC_MSM_HPP
+
+#include <cstdint>
+#include <span>
+
+#include "ec/g1.hpp"
+
+namespace zkphire::ec {
+
+/** Operation counts gathered while running an MSM. */
+struct MsmStats {
+    std::uint64_t pointAdds = 0;   ///< Bucket/aggregation additions.
+    std::uint64_t pointDoubles = 0;///< Window-combining doublings.
+    std::uint64_t trivialScalars = 0; ///< Scalars in {0, 1} skipped/fast-pathed.
+    std::uint64_t denseScalars = 0;   ///< Full-width scalars.
+};
+
+/** Reference MSM: per-point double-and-add; O(n * 255) ops. Tests only. */
+G1Jacobian msmNaive(std::span<const Fr> scalars,
+                    std::span<const G1Affine> points);
+
+/**
+ * Pippenger MSM.
+ *
+ * @param window_bits Bucket window size c; 0 selects automatically
+ *        (~log2(n) - 3, clamped to [1, 16]), matching the DSE knob range.
+ * @param stats Optional op-count output.
+ */
+G1Jacobian msmPippenger(std::span<const Fr> scalars,
+                        std::span<const G1Affine> points,
+                        unsigned window_bits = 0, MsmStats *stats = nullptr);
+
+/** Automatic window size used when window_bits == 0. */
+unsigned pippengerAutoWindow(std::size_t n);
+
+/**
+ * Parallel Pippenger MSM: the point set is split across worker threads
+ * (each running a full windowed pass on its slice) and the partial sums
+ * are combined — the standard multicore decomposition, matching how the
+ * paper's CPU baselines parallelize.
+ */
+G1Jacobian msmPippengerParallel(std::span<const Fr> scalars,
+                                std::span<const G1Affine> points,
+                                unsigned threads,
+                                unsigned window_bits = 0);
+
+} // namespace zkphire::ec
+
+#endif // ZKPHIRE_EC_MSM_HPP

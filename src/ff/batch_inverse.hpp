@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Batched modular inversion (Montgomery's trick).
+ *
+ * Inverts n field elements with one true inversion and 3(n-1) multiplications.
+ * This is the algorithm the Permutation Quotient Generator implements in
+ * hardware (paper §IV-B5): zkSpeed used batch size 64 with per-inverse
+ * multipliers; zkPHIRE uses batch size 2 with shared multipliers and 266
+ * round-robin inverse units. The functional kernel here is shared by the
+ * PermCheck prover (computing phi = N/D) and by tests; the hardware cost of
+ * both batching strategies is modeled in src/sim/permq.*.
+ */
+#ifndef ZKPHIRE_FF_BATCH_INVERSE_HPP
+#define ZKPHIRE_FF_BATCH_INVERSE_HPP
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace zkphire::ff {
+
+/**
+ * In-place batched inversion. Every element must be nonzero.
+ *
+ * @param xs Elements to invert; replaced by their inverses.
+ */
+template <class F>
+void
+batchInverseInPlace(std::span<F> xs)
+{
+    const std::size_t n = xs.size();
+    if (n == 0)
+        return;
+    std::vector<F> prefix(n);
+    F acc = F::one();
+    for (std::size_t i = 0; i < n; ++i) {
+        assert(!xs[i].isZero() && "batch inverse of zero element");
+        prefix[i] = acc;
+        acc *= xs[i];
+    }
+    F inv = acc.inverse();
+    for (std::size_t i = n; i-- > 0;) {
+        F x_inv = inv * prefix[i];
+        inv *= xs[i];
+        xs[i] = x_inv;
+    }
+}
+
+/** Batched inversion returning a new vector. */
+template <class F>
+std::vector<F>
+batchInverse(std::span<const F> xs)
+{
+    std::vector<F> out(xs.begin(), xs.end());
+    batchInverseInPlace(std::span<F>(out));
+    return out;
+}
+
+} // namespace zkphire::ff
+
+#endif // ZKPHIRE_FF_BATCH_INVERSE_HPP

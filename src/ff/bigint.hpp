@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Fixed-width little-endian multi-precision integers.
+ *
+ * BigInt<N> is the raw-limb substrate under the Montgomery-form prime fields
+ * (src/ff/field.hpp). It provides exactly the operations the field layer and
+ * the MSM scalar-windowing code need: carry-propagating add/sub, comparisons,
+ * shifts, bit extraction, and hex/byte conversions. All arithmetic is
+ * constant-size (no dynamic allocation) so field elements stay POD-like and
+ * cheap to copy into MLE tables.
+ */
+#ifndef ZKPHIRE_FF_BIGINT_HPP
+#define ZKPHIRE_FF_BIGINT_HPP
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace zkphire::ff {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+/**
+ * Fixed-width unsigned integer with N 64-bit limbs, least-significant first.
+ */
+template <std::size_t N>
+struct BigInt {
+    std::array<u64, N> limb{};
+
+    constexpr BigInt() = default;
+
+    /** Construct from a single 64-bit value (upper limbs zero). */
+    explicit constexpr BigInt(u64 lo) { limb[0] = lo; }
+
+    static constexpr std::size_t numLimbs = N;
+    static constexpr std::size_t numBits = 64 * N;
+
+    constexpr bool
+    isZero() const
+    {
+        for (std::size_t i = 0; i < N; ++i)
+            if (limb[i] != 0) return false;
+        return true;
+    }
+
+    constexpr bool operator==(const BigInt &o) const { return limb == o.limb; }
+    constexpr bool operator!=(const BigInt &o) const { return limb != o.limb; }
+
+    /** Three-way comparison as unsigned integers. */
+    constexpr int
+    cmp(const BigInt &o) const
+    {
+        for (std::size_t i = N; i-- > 0;) {
+            if (limb[i] < o.limb[i]) return -1;
+            if (limb[i] > o.limb[i]) return 1;
+        }
+        return 0;
+    }
+
+    constexpr bool operator<(const BigInt &o) const { return cmp(o) < 0; }
+    constexpr bool operator<=(const BigInt &o) const { return cmp(o) <= 0; }
+    constexpr bool operator>(const BigInt &o) const { return cmp(o) > 0; }
+    constexpr bool operator>=(const BigInt &o) const { return cmp(o) >= 0; }
+
+    /** this += o; @return carry out (0 or 1). */
+    constexpr u64
+    addInPlace(const BigInt &o)
+    {
+        u64 carry = 0;
+        for (std::size_t i = 0; i < N; ++i) {
+            u128 s = (u128)limb[i] + o.limb[i] + carry;
+            limb[i] = (u64)s;
+            carry = (u64)(s >> 64);
+        }
+        return carry;
+    }
+
+    /** this -= o; @return borrow out (0 or 1). */
+    constexpr u64
+    subInPlace(const BigInt &o)
+    {
+        u64 borrow = 0;
+        for (std::size_t i = 0; i < N; ++i) {
+            u128 d = (u128)limb[i] - o.limb[i] - borrow;
+            limb[i] = (u64)d;
+            borrow = (u64)((d >> 64) & 1);
+        }
+        return borrow;
+    }
+
+    /** Logical left shift by one bit; @return the bit shifted out. */
+    constexpr u64
+    shl1InPlace()
+    {
+        u64 carry = 0;
+        for (std::size_t i = 0; i < N; ++i) {
+            u64 next = limb[i] >> 63;
+            limb[i] = (limb[i] << 1) | carry;
+            carry = next;
+        }
+        return carry;
+    }
+
+    /** Logical right shift by one bit. */
+    constexpr void
+    shr1InPlace()
+    {
+        for (std::size_t i = 0; i + 1 < N; ++i)
+            limb[i] = (limb[i] >> 1) | (limb[i + 1] << 63);
+        limb[N - 1] >>= 1;
+    }
+
+    /** Extract bit i (0 = least significant). */
+    constexpr bool
+    bit(std::size_t i) const
+    {
+        assert(i < numBits);
+        return (limb[i / 64] >> (i % 64)) & 1;
+    }
+
+    /** Extract `width` (≤ 64) bits starting at bit `lo`, as in MSM windows. */
+    constexpr u64
+    bits(std::size_t lo, std::size_t width) const
+    {
+        assert(width >= 1 && width <= 64);
+        std::size_t word = lo / 64, off = lo % 64;
+        u64 v = limb[word] >> off;
+        if (off + width > 64 && word + 1 < N)
+            v |= limb[word + 1] << (64 - off);
+        if (width < 64)
+            v &= (u64(1) << width) - 1;
+        return v;
+    }
+
+    /** Index of the highest set bit plus one; 0 for zero. */
+    constexpr std::size_t
+    bitLength() const
+    {
+        for (std::size_t i = N; i-- > 0;) {
+            if (limb[i]) {
+                std::size_t b = 64;
+                u64 v = limb[i];
+                while (!(v >> 63)) { v <<= 1; --b; }
+                return i * 64 + b;
+            }
+        }
+        return 0;
+    }
+
+    /**
+     * Parse a big-endian hex string (optional 0x prefix). Truncates to N
+     * limbs; asserts on non-hex characters.
+     */
+    static BigInt
+    fromHex(std::string_view hex)
+    {
+        if (hex.size() >= 2 && hex[0] == '0' && (hex[1] == 'x' || hex[1] == 'X'))
+            hex.remove_prefix(2);
+        BigInt out;
+        std::size_t nibble = 0;
+        for (std::size_t i = hex.size(); i-- > 0 && nibble < 16 * N;) {
+            char c = hex[i];
+            u64 v;
+            if (c >= '0' && c <= '9') v = u64(c - '0');
+            else if (c >= 'a' && c <= 'f') v = u64(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F') v = u64(c - 'A' + 10);
+            else { assert(false && "bad hex digit"); v = 0; }
+            out.limb[nibble / 16] |= v << (4 * (nibble % 16));
+            ++nibble;
+        }
+        return out;
+    }
+
+    /** Render as lowercase hex with 0x prefix, no leading-zero trimming. */
+    std::string
+    toHex() const
+    {
+        static const char *digits = "0123456789abcdef";
+        std::string s = "0x";
+        for (std::size_t i = N; i-- > 0;)
+            for (int shift = 60; shift >= 0; shift -= 4)
+                s += digits[(limb[i] >> shift) & 0xf];
+        return s;
+    }
+
+    /** Serialize to little-endian bytes (8*N bytes). */
+    void
+    toBytesLe(std::uint8_t *out) const
+    {
+        for (std::size_t i = 0; i < N; ++i)
+            for (std::size_t b = 0; b < 8; ++b)
+                out[i * 8 + b] = std::uint8_t(limb[i] >> (8 * b));
+    }
+
+    /** Deserialize from little-endian bytes (8*N bytes). */
+    static BigInt
+    fromBytesLe(const std::uint8_t *in)
+    {
+        BigInt out;
+        for (std::size_t i = 0; i < N; ++i)
+            for (std::size_t b = 0; b < 8; ++b)
+                out.limb[i] |= u64(in[i * 8 + b]) << (8 * b);
+        return out;
+    }
+};
+
+} // namespace zkphire::ff
+
+#endif // ZKPHIRE_FF_BIGINT_HPP

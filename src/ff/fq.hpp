@@ -1,0 +1,34 @@
+/**
+ * @file
+ * BLS12-381 base field Fq — the 381-bit coordinate field of G1 points used
+ * by the MSM/commitment pipeline (the paper's "381-bit PADD datatype").
+ */
+#ifndef ZKPHIRE_FF_FQ_HPP
+#define ZKPHIRE_FF_FQ_HPP
+
+#include "ff/field.hpp"
+
+namespace zkphire::ff {
+
+/** Field configuration for the BLS12-381 base field (prime p, 381 bits). */
+struct FqCfg {
+    static constexpr std::size_t numLimbs = 6;
+    static const char *
+    modulusHex()
+    {
+        return "0x1a0111ea397fe69a4b1ba7b6434bacd7"
+               "64774b84f38512bf6730d2a0f6b0f624"
+               "1eabfffeb153ffffb9feffffffffaaab";
+    }
+    static constexpr const char *name() { return "Fq"; }
+};
+
+/** BLS12-381 base field element (381-bit, 6 limbs). */
+using Fq = PrimeField<FqCfg>;
+
+/** Size of one affine G1 point in modeled off-chip traffic (2 x 48 B). */
+inline constexpr std::size_t kG1AffineBytes = 96;
+
+} // namespace zkphire::ff
+
+#endif // ZKPHIRE_FF_FQ_HPP

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * BLS12-381 scalar field Fr — the 255-bit field of MLE entries, witnesses,
+ * selectors, and SumCheck evaluations throughout zkPHIRE (the paper's
+ * "255-bit MLE datatype").
+ */
+#ifndef ZKPHIRE_FF_FR_HPP
+#define ZKPHIRE_FF_FR_HPP
+
+#include "ff/field.hpp"
+
+namespace zkphire::ff {
+
+/** Field configuration for the BLS12-381 scalar field (group order r). */
+struct FrCfg {
+    static constexpr std::size_t numLimbs = 4;
+    static const char *
+    modulusHex()
+    {
+        return "0x73eda753299d7d483339d80809a1d805"
+               "53bda402fffe5bfeffffffff00000001";
+    }
+    static constexpr const char *name() { return "Fr"; }
+};
+
+/** BLS12-381 scalar field element (255-bit, 4 limbs). */
+using Fr = PrimeField<FrCfg>;
+
+/** Size of one Fr element in modeled off-chip traffic (255b padded). */
+inline constexpr std::size_t kFrBytes = 32;
+
+} // namespace zkphire::ff
+
+#endif // ZKPHIRE_FF_FR_HPP

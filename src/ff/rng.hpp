@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator for tests, witness
+ * generation, and workload synthesis.
+ *
+ * SplitMix64 is tiny, fast, and fully deterministic across platforms, which
+ * keeps every experiment in this repository reproducible from a seed. It is
+ * NOT cryptographically secure; protocol challenges come from the SHA3
+ * transcript (src/hash/transcript.hpp), never from this Rng.
+ */
+#ifndef ZKPHIRE_FF_RNG_HPP
+#define ZKPHIRE_FF_RNG_HPP
+
+#include <cstdint>
+
+namespace zkphire::ff {
+
+/** SplitMix64 deterministic PRNG. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) : state(seed) {}
+
+    /** Next 64 uniformly distributed bits. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform value in [0, bound). @pre bound > 0. */
+    std::uint64_t
+    nextBelow(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return double(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace zkphire::ff
+
+#endif // ZKPHIRE_FF_RNG_HPP

@@ -1,0 +1,159 @@
+#include "gadgets/rescue.hpp"
+
+#include <cassert>
+
+namespace zkphire::gadgets {
+
+using hyperplonk::GateSystem;
+
+const ff::BigInt<4> &
+invFifthExponent()
+{
+    // 5^(-1) mod (r - 1): (x^e)^5 == x for all x in Fr*. Cross-checked in
+    // tests against independent exponentiation.
+    static const auto e = ff::BigInt<4>::fromHex(
+        "0x2e5f0fbadd72321ce14a56699d73f002"
+        "217f0e679998f19933333332cccccccd");
+    return e;
+}
+
+const RescueParams &
+RescueParams::standard()
+{
+    static const RescueParams params = [] {
+        RescueParams p;
+        ff::Rng rng(0x7265736375650a01ull); // "rescue" seed
+        for (auto &row : p.mds)
+            for (auto &x : row)
+                x = Fr::random(rng);
+        p.constants.resize(rounds);
+        for (auto &rc : p.constants)
+            for (auto &half : rc)
+                for (auto &x : half)
+                    x = Fr::random(rng);
+        return p;
+    }();
+    return params;
+}
+
+namespace {
+
+constexpr unsigned kWidth = RescueParams::width;
+
+std::array<Fr, kWidth>
+mixLayer(const std::array<Fr, kWidth> &state,
+         const std::array<std::array<Fr, kWidth>, kWidth> &mds,
+         const std::array<Fr, kWidth> &constants)
+{
+    std::array<Fr, kWidth> out;
+    for (unsigned i = 0; i < kWidth; ++i) {
+        Fr acc = constants[i];
+        for (unsigned j = 0; j < kWidth; ++j)
+            acc += mds[i][j] * state[j];
+        out[i] = acc;
+    }
+    return out;
+}
+
+Fr
+pow5(const Fr &x)
+{
+    return x.square().square() * x;
+}
+
+} // namespace
+
+std::array<Fr, kWidth>
+rescuePermutation(std::array<Fr, kWidth> state, const RescueParams &params)
+{
+    for (unsigned r = 0; r < RescueParams::rounds; ++r) {
+        for (auto &x : state)
+            x = pow5(x);
+        state = mixLayer(state, params.mds, params.constants[r][0]);
+        for (auto &x : state)
+            x = x.pow(invFifthExponent());
+        state = mixLayer(state, params.mds, params.constants[r][1]);
+    }
+    return state;
+}
+
+Fr
+rescueHash(const Fr &a, const Fr &b, const RescueParams &params)
+{
+    return rescuePermutation({a, b, Fr::zero()}, params)[0];
+}
+
+std::array<Cell, kWidth>
+addRescuePermutation(Circuit &circuit, const std::array<Cell, kWidth> &input,
+                     const RescueParams &params)
+{
+    assert(circuit.system() == GateSystem::Jellyfish);
+    std::array<Cell, kWidth> cells = input;
+    std::array<Fr, kWidth> vals;
+    for (unsigned i = 0; i < kWidth; ++i)
+        vals[i] = circuit.witness(cells[i]);
+
+    auto sbox_forward = [&] {
+        for (unsigned i = 0; i < kWidth; ++i) {
+            Cell out = circuit.addPow5(vals[i]);
+            circuit.copy(cells[i], Cell{0, out.row});
+            cells[i] = out;
+            vals[i] = pow5(vals[i]);
+        }
+    };
+    auto sbox_backward = [&] {
+        for (unsigned i = 0; i < kWidth; ++i) {
+            // Prover supplies y = x^(1/5); the row constrains y^5 == x by
+            // wiring the pow5 OUTPUT back to the current state cell.
+            Fr y = vals[i].pow(invFifthExponent());
+            Cell out = circuit.addPow5(y);
+            circuit.copy(cells[i], out);
+            cells[i] = Cell{0, out.row}; // the y input becomes the state
+            vals[i] = y;
+        }
+    };
+    auto mix = [&](const std::array<Fr, kWidth> &constants) {
+        std::array<Cell, kWidth> next_cells;
+        std::array<Fr, kWidth> next_vals;
+        for (unsigned i = 0; i < kWidth; ++i) {
+            Fr w[4] = {vals[0], vals[1], vals[2], Fr::zero()};
+            Fr q[4] = {params.mds[i][0], params.mds[i][1], params.mds[i][2],
+                       Fr::zero()};
+            Cell out = circuit.addLinearCombination(
+                std::span<const Fr, 4>(w, 4), std::span<const Fr, 4>(q, 4),
+                constants[i]);
+            for (unsigned j = 0; j < kWidth; ++j)
+                circuit.copy(cells[j], Cell{j, out.row});
+            next_cells[i] = out;
+            next_vals[i] = circuit.witness(out);
+        }
+        cells = next_cells;
+        vals = next_vals;
+    };
+
+    for (unsigned r = 0; r < RescueParams::rounds; ++r) {
+        sbox_forward();
+        mix(params.constants[r][0]);
+        sbox_backward();
+        mix(params.constants[r][1]);
+    }
+    return cells;
+}
+
+RescuePreimageCircuit
+buildRescuePreimageCircuit(const Fr &a, const Fr &b)
+{
+    RescuePreimageCircuit out{Circuit(GateSystem::Jellyfish), Fr::zero()};
+    Circuit &c = out.circuit;
+    std::array<Cell, kWidth> state = {c.addInput(a), c.addInput(b),
+                                      c.addZero()};
+    std::array<Cell, kWidth> final_state = addRescuePermutation(c, state);
+    out.digest = c.witness(final_state[0]);
+    // Bind the public digest: pinned cell wired to the output lane.
+    Cell pin = c.addPinned(out.digest);
+    c.copy(final_state[0], pin);
+    c.padToPowerOfTwo();
+    return out;
+}
+
+} // namespace zkphire::gadgets

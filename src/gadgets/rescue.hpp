@@ -1,0 +1,75 @@
+/**
+ * @file
+ * A Rescue-style arithmetization-friendly permutation over Fr, and its
+ * Jellyfish-gate circuit — the paper's "2^12 Rescue Hashes" workload made
+ * concrete. Rescue is exactly why Jellyfish gates exist: its S-boxes are
+ * x -> x^5 (one qH row each) and x -> x^(1/5) (one qH row run "backwards":
+ * the prover supplies y and the row constrains y^5 = x), and its MDS layer
+ * is a handful of fused multiply-add rows. A Vanilla mapping needs ~3x the
+ * rows for each x^5 alone.
+ *
+ * Parameters (width 3, 8 double-rounds, fixed pseudo-random constants) are
+ * demonstration-grade, NOT a vetted Rescue-Prime instance — the point is
+ * the circuit structure and its cost, not a production hash.
+ */
+#ifndef ZKPHIRE_GADGETS_RESCUE_HPP
+#define ZKPHIRE_GADGETS_RESCUE_HPP
+
+#include <array>
+
+#include "hyperplonk/circuit.hpp"
+
+namespace zkphire::gadgets {
+
+using ff::Fr;
+using hyperplonk::Cell;
+using hyperplonk::Circuit;
+
+/** Rescue-style permutation parameters. */
+struct RescueParams {
+    static constexpr unsigned width = 3;
+    static constexpr unsigned rounds = 8; ///< Double rounds.
+
+    std::array<std::array<Fr, width>, width> mds;
+    /** Round constants: [round][half][lane]. */
+    std::vector<std::array<std::array<Fr, width>, 2>> constants;
+
+    /** Deterministic parameters derived from a seed. */
+    static const RescueParams &standard();
+};
+
+/** Out-of-circuit evaluation of the permutation. */
+std::array<Fr, RescueParams::width>
+rescuePermutation(std::array<Fr, RescueParams::width> state,
+                  const RescueParams &params = RescueParams::standard());
+
+/** 2-to-1 sponge-style hash: absorb (a, b), capacity lane fixed to 0. */
+Fr rescueHash(const Fr &a, const Fr &b,
+              const RescueParams &params = RescueParams::standard());
+
+/**
+ * Append a full permutation to a Jellyfish circuit: the input state cells
+ * must already exist in the circuit; returns the output state cells. All
+ * intermediate wiring is enforced with copy constraints.
+ */
+std::array<Cell, RescueParams::width>
+addRescuePermutation(Circuit &circuit,
+                     const std::array<Cell, RescueParams::width> &input,
+                     const RescueParams &params = RescueParams::standard());
+
+/**
+ * Build a complete circuit proving knowledge of (a, b) with
+ * rescueHash(a, b) == digest. Returns the circuit (padded) and the digest.
+ */
+struct RescuePreimageCircuit {
+    Circuit circuit;
+    Fr digest;
+};
+RescuePreimageCircuit buildRescuePreimageCircuit(const Fr &a, const Fr &b);
+
+/** The exponent 1/5 mod (r - 1), for the inverse S-box witness. */
+const ff::BigInt<4> &invFifthExponent();
+
+} // namespace zkphire::gadgets
+
+#endif // ZKPHIRE_GADGETS_RESCUE_HPP

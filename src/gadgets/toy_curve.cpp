@@ -1,0 +1,96 @@
+#include "gadgets/toy_curve.hpp"
+
+#include <cassert>
+
+namespace zkphire::gadgets {
+
+const Fr &
+toyCurveB()
+{
+    static const Fr b = Fr::fromU64(5);
+    return b;
+}
+
+bool
+ToyPoint::isOnCurve() const
+{
+    if (infinity)
+        return true;
+    return y.square() == x.square() * x + toyCurveB();
+}
+
+ToyPoint
+findPoint(std::uint64_t x_start)
+{
+    for (std::uint64_t xi = x_start;; ++xi) {
+        Fr x = Fr::fromU64(xi);
+        Fr rhs = x.square() * x + toyCurveB();
+        Fr y;
+        if (rhs.sqrt(y))
+            return ToyPoint{x, y, false};
+    }
+}
+
+ToyPoint
+randomPoint(ff::Rng &rng)
+{
+    // Nonzero scalar below 2^62 keeps this cheap and deterministic.
+    std::uint64_t k = (rng.next() >> 2) | 1;
+    return mul(findPoint(1), k);
+}
+
+ToyPoint
+add(const ToyPoint &p, const ToyPoint &q)
+{
+    if (p.infinity)
+        return q;
+    if (q.infinity)
+        return p;
+    Fr lambda;
+    if (p.x == q.x) {
+        if (p.y == q.y.neg() || p.y.isZero())
+            return ToyPoint{}; // P + (-P) = O
+        // Doubling: lambda = 3x^2 / 2y (a = 0).
+        lambda = Fr::fromU64(3) * p.x.square() * p.y.dbl().inverse();
+    } else {
+        lambda = (q.y - p.y) * (q.x - p.x).inverse();
+    }
+    ToyPoint r;
+    r.infinity = false;
+    r.x = lambda.square() - p.x - q.x;
+    r.y = lambda * (p.x - r.x) - p.y;
+    return r;
+}
+
+ToyPoint
+mul(const ToyPoint &p, std::uint64_t k)
+{
+    ToyPoint acc; // identity
+    ToyPoint base = p;
+    while (k) {
+        if (k & 1)
+            acc = add(acc, base);
+        base = add(base, base);
+        k >>= 1;
+    }
+    return acc;
+}
+
+IncompleteAddWitness
+incompleteAddWitness(const ToyPoint &p, const ToyPoint &q)
+{
+    assert(!p.infinity && !q.infinity && !(p.x == q.x) &&
+           "incomplete addition requires distinct x coordinates");
+    ToyPoint r = add(p, q);
+    IncompleteAddWitness w;
+    w.xp = p.x;
+    w.yp = p.y;
+    w.xq = q.x;
+    w.yq = q.y;
+    w.xr = r.x;
+    w.yr = r.y;
+    w.lambda = (q.y - p.y) * (q.x - p.x).inverse();
+    return w;
+}
+
+} // namespace zkphire::gadgets

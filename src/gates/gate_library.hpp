@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The paper's Table I: the 25 polynomial constraints used to evaluate the
+ * programmable SumCheck unit, plus the parametric high-degree sweep family
+ * of §VI-A2 / §VI-B5.
+ *
+ * Each Gate carries the expanded GateExpr, a per-slot role (selector /
+ * witness / dense) that drives both sparse test-table generation and the
+ * hardware traffic model, and helpers to synthesize random workloads with
+ * the sparsity statistics the paper assumes (selectors binary, witnesses
+ * ~90% in {0,1}, auxiliary polynomials dense).
+ */
+#ifndef ZKPHIRE_GATES_GATE_LIBRARY_HPP
+#define ZKPHIRE_GATES_GATE_LIBRARY_HPP
+
+#include <string>
+#include <vector>
+
+#include "ff/rng.hpp"
+#include "poly/gate_expr.hpp"
+#include "poly/mle.hpp"
+
+namespace zkphire::gates {
+
+using ff::Fr;
+
+/** Storage/sparsity class of a constituent MLE (paper §IV-B1). */
+enum class SlotRole {
+    Selector, // enable MLEs q_i: binary (0/1)
+    Witness,  // witness/constant MLEs: ~90% of entries in {0,1}
+    Dense,    // f_r, eq, N/D/phi/pi/p1/p2: full 255-bit entries
+};
+
+/** A Table I row (or sweep-family member) ready for SumCheck. */
+struct Gate {
+    int id = -1;       ///< Table I ID (0-24); -1 for sweep-family gates.
+    std::string name;
+    poly::GateExpr expr;
+    std::vector<SlotRole> roles; ///< One role per expression slot.
+
+    /** Composite degree (max term factor count). */
+    std::size_t degree() const { return expr.degree(); }
+
+    /**
+     * Generate random tables honoring slot roles: selectors uniform binary,
+     * witnesses 60% zero / 30% one / 10% dense (≈90% sparse, per the paper's
+     * workload statistics), dense slots uniform field elements.
+     */
+    std::vector<poly::Mle> randomTables(unsigned num_vars, ff::Rng &rng) const;
+};
+
+/**
+ * Build Table I gate by id (0-24).
+ *
+ * @param alpha The scalar batching challenge in the PermCheck rows (21, 23);
+ *              a fixed nonzero default is fine for benchmarking.
+ */
+Gate tableIGate(int id, const Fr &alpha = Fr::fromU64(7));
+
+/** All 25 Table I gates in id order. */
+std::vector<Gate> tableIGates(const Fr &alpha = Fr::fromU64(7));
+
+/** Table I rows 0-19: the Fig. 6 "training set". */
+std::vector<Gate> trainingSetGates();
+
+/**
+ * The Vanilla Plonk gate constraint WITHOUT the ZeroCheck masking factor:
+ * qL*w1 + qR*w2 + qM*w1*w2 - qO*w3 + qC. Slot order: qL qR qM qO qC w1 w2 w3
+ * (selectors first, then witness columns) — the order the HyperPlonk
+ * circuit layer binds tables in. Row 20 is this expression times f_r.
+ */
+Gate vanillaCoreGate();
+
+/** The Jellyfish gate constraint without f_r (13 selectors, 5 witnesses). */
+Gate jellyfishCoreGate();
+
+/**
+ * The PermCheck constraint without f_r, for num_witnesses columns:
+ * pi - p1*p2 + alpha*(phi*D_1..D_k - N_1..N_k), slot order
+ * [pi, p1, p2, phi, D_1..D_k, N_1..N_k]. Rows 21/23 are this times f_r.
+ */
+Gate permCoreGate(unsigned num_witnesses, const Fr &alpha);
+
+/**
+ * The high-degree sweep family (paper §VI-A2):
+ * f = q1*w1 + q2*w2 + q3*w1^(d-1)*w2 + qc, parameterized by the witness
+ * degree d >= 2. The dominant term has d+1 factor occurrences, so its
+ * composite degree is d+1.
+ */
+Gate sweepGate(unsigned d);
+
+} // namespace zkphire::gates
+
+#endif // ZKPHIRE_GATES_GATE_LIBRARY_HPP

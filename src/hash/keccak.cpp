@@ -1,0 +1,139 @@
+#include "hash/keccak.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace zkphire::hash {
+
+namespace {
+
+constexpr std::uint64_t kRoundConstants[24] = {
+    0x0000000000000001ull, 0x0000000000008082ull, 0x800000000000808aull,
+    0x8000000080008000ull, 0x000000000000808bull, 0x0000000080000001ull,
+    0x8000000080008081ull, 0x8000000000008009ull, 0x000000000000008aull,
+    0x0000000000000088ull, 0x0000000080008009ull, 0x000000008000000aull,
+    0x000000008000808bull, 0x800000000000008bull, 0x8000000000008089ull,
+    0x8000000000008003ull, 0x8000000000008002ull, 0x8000000000000080ull,
+    0x000000000000800aull, 0x800000008000000aull, 0x8000000080008081ull,
+    0x8000000000008080ull, 0x0000000080000001ull, 0x8000000080008008ull,
+};
+
+constexpr int kRotc[24] = {1,  3,  6,  10, 15, 21, 28, 36, 45, 55, 2,  14,
+                           27, 41, 56, 8,  25, 43, 62, 18, 39, 61, 20, 44};
+
+constexpr int kPiln[24] = {10, 7,  11, 17, 18, 3, 5,  16, 8,  21, 24, 4,
+                           15, 23, 19, 13, 12, 2, 20, 14, 22, 9,  6,  1};
+
+inline std::uint64_t
+rotl64(std::uint64_t x, int n)
+{
+    return (x << n) | (x >> (64 - n));
+}
+
+} // namespace
+
+void
+keccakF1600(std::array<std::uint64_t, 25> &st)
+{
+    for (int round = 0; round < 24; ++round) {
+        // Theta
+        std::uint64_t bc[5];
+        for (int i = 0; i < 5; ++i)
+            bc[i] = st[i] ^ st[i + 5] ^ st[i + 10] ^ st[i + 15] ^ st[i + 20];
+        for (int i = 0; i < 5; ++i) {
+            std::uint64_t t = bc[(i + 4) % 5] ^ rotl64(bc[(i + 1) % 5], 1);
+            for (int j = 0; j < 25; j += 5)
+                st[j + i] ^= t;
+        }
+        // Rho + Pi
+        std::uint64_t t = st[1];
+        for (int i = 0; i < 24; ++i) {
+            int j = kPiln[i];
+            std::uint64_t tmp = st[j];
+            st[j] = rotl64(t, kRotc[i]);
+            t = tmp;
+        }
+        // Chi
+        for (int j = 0; j < 25; j += 5) {
+            std::uint64_t row[5];
+            for (int i = 0; i < 5; ++i)
+                row[i] = st[j + i];
+            for (int i = 0; i < 5; ++i)
+                st[j + i] = row[i] ^ (~row[(i + 1) % 5] & row[(i + 2) % 5]);
+        }
+        // Iota
+        st[0] ^= kRoundConstants[round];
+    }
+}
+
+void
+Keccak256Sponge::permuteIfFull()
+{
+    if (bufferLen < rateBytes)
+        return;
+    for (std::size_t i = 0; i < rateBytes / 8; ++i) {
+        std::uint64_t lane;
+        std::memcpy(&lane, buffer.data() + 8 * i, 8);
+        state[i] ^= lane;
+    }
+    keccakF1600(state);
+    bufferLen = 0;
+}
+
+void
+Keccak256Sponge::absorb(std::span<const std::uint8_t> data)
+{
+    assert(!finalized && "absorb after finalize");
+    for (std::uint8_t byte : data) {
+        buffer[bufferLen++] = byte;
+        permuteIfFull();
+    }
+}
+
+Digest
+Keccak256Sponge::finalize()
+{
+    assert(!finalized && "double finalize");
+    finalized = true;
+    // Pad: domain byte then zeros then 0x80 in the final rate position.
+    std::memset(buffer.data() + bufferLen, 0, rateBytes - bufferLen);
+    buffer[bufferLen] = padByte;
+    buffer[rateBytes - 1] |= 0x80;
+    bufferLen = rateBytes;
+    permuteIfFull();
+
+    Digest out;
+    std::memcpy(out.data(), state.data(), out.size());
+    return out;
+}
+
+Digest
+sha3_256(std::span<const std::uint8_t> data)
+{
+    Keccak256Sponge sponge(0x06);
+    sponge.absorb(data);
+    return sponge.finalize();
+}
+
+Digest
+keccak256(std::span<const std::uint8_t> data)
+{
+    Keccak256Sponge sponge(0x01);
+    sponge.absorb(data);
+    return sponge.finalize();
+}
+
+std::string
+toHex(const Digest &d)
+{
+    static const char *digits = "0123456789abcdef";
+    std::string s;
+    s.reserve(64);
+    for (std::uint8_t b : d) {
+        s += digits[b >> 4];
+        s += digits[b & 0xf];
+    }
+    return s;
+}
+
+} // namespace zkphire::hash

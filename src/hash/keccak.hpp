@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Keccak-f[1600] sponge: SHA3-256 and Keccak-256.
+ *
+ * zkPHIRE's protocol layer uses SHA3 for Fiat-Shamir challenge generation
+ * (the paper instantiates an OpenCores SHA3 IP block on-chip); this is the
+ * functional counterpart. Keccak-256 (the pre-NIST padding variant used by
+ * Ethereum) is also provided since several ZKP codebases use it and it gives
+ * us well-known cross-check vectors.
+ */
+#ifndef ZKPHIRE_HASH_KECCAK_HPP
+#define ZKPHIRE_HASH_KECCAK_HPP
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace zkphire::hash {
+
+/** 256-bit digest. */
+using Digest = std::array<std::uint8_t, 32>;
+
+/**
+ * Incremental Keccak sponge with rate 1088 bits (capacity 512), i.e. the
+ * parameterization shared by SHA3-256 and Keccak-256.
+ */
+class Keccak256Sponge
+{
+  public:
+    /** @param domain_pad Padding domain byte: 0x06 for SHA3, 0x01 for Keccak. */
+    explicit Keccak256Sponge(std::uint8_t domain_pad) : padByte(domain_pad) {}
+
+    /** Absorb arbitrary bytes. */
+    void absorb(std::span<const std::uint8_t> data);
+
+    /** Finalize and produce the 32-byte digest. Sponge must not be reused. */
+    Digest finalize();
+
+  private:
+    static constexpr std::size_t rateBytes = 136;
+
+    void permuteIfFull();
+
+    std::array<std::uint64_t, 25> state{};
+    std::array<std::uint8_t, rateBytes> buffer{};
+    std::size_t bufferLen = 0;
+    std::uint8_t padByte;
+    bool finalized = false;
+};
+
+/** One-shot SHA3-256 (FIPS 202 padding 0x06). */
+Digest sha3_256(std::span<const std::uint8_t> data);
+
+/** One-shot Keccak-256 (legacy padding 0x01, as used by Ethereum). */
+Digest keccak256(std::span<const std::uint8_t> data);
+
+/** Hex rendering of a digest (lowercase, no prefix) for tests/logging. */
+std::string toHex(const Digest &d);
+
+/** Keccak-f[1600] permutation, exposed for unit testing. */
+void keccakF1600(std::array<std::uint64_t, 25> &state);
+
+} // namespace zkphire::hash
+
+#endif // ZKPHIRE_HASH_KECCAK_HPP

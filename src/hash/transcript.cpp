@@ -1,0 +1,85 @@
+#include "hash/transcript.hpp"
+
+#include <cstring>
+
+namespace zkphire::hash {
+
+using ff::Fr;
+
+Transcript::Transcript(std::string_view label)
+{
+    appendBytes("init", {reinterpret_cast<const std::uint8_t *>(label.data()),
+                         label.size()});
+}
+
+void
+Transcript::appendBytes(std::string_view label,
+                        std::span<const std::uint8_t> data)
+{
+    // Length-prefix both label and payload so message boundaries are
+    // unambiguous in the sponge input.
+    auto append_u64 = [this](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i)
+            pending.push_back(std::uint8_t(v >> (8 * i)));
+    };
+    append_u64(label.size());
+    pending.insert(pending.end(), label.begin(), label.end());
+    append_u64(data.size());
+    pending.insert(pending.end(), data.begin(), data.end());
+}
+
+void
+Transcript::appendFr(std::string_view label, const Fr &x)
+{
+    std::uint8_t bytes[Fr::numLimbs * 8];
+    x.toBytesLe(bytes);
+    appendBytes(label, bytes);
+}
+
+void
+Transcript::appendFrVec(std::string_view label, std::span<const Fr> xs)
+{
+    appendU64(label, xs.size());
+    for (const Fr &x : xs)
+        appendFr(label, x);
+}
+
+void
+Transcript::appendU64(std::string_view label, std::uint64_t x)
+{
+    std::uint8_t bytes[8];
+    for (int i = 0; i < 8; ++i)
+        bytes[i] = std::uint8_t(x >> (8 * i));
+    appendBytes(label, bytes);
+}
+
+void
+Transcript::flushInto(Keccak256Sponge &sponge)
+{
+    sponge.absorb(state);
+    sponge.absorb(pending);
+    pending.clear();
+}
+
+Fr
+Transcript::challengeFr(std::string_view label)
+{
+    appendBytes(label, {});
+    Keccak256Sponge sponge(0x06);
+    flushInto(sponge);
+    state = sponge.finalize();
+    ++hashes;
+    return Fr::fromHashBytes(state.data());
+}
+
+std::vector<Fr>
+Transcript::challengeFrVec(std::string_view label, std::size_t n)
+{
+    std::vector<Fr> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(challengeFr(label));
+    return out;
+}
+
+} // namespace zkphire::hash

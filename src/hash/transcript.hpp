@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fiat-Shamir transcript.
+ *
+ * Implements the public-coin-to-non-interactive transformation used by every
+ * SumCheck round in the paper ("hashing the round evaluations, e.g. with
+ * SHA3"): the prover absorbs protocol messages (labels, field elements, curve
+ * points) and squeezes verifier challenges deterministically. Prover and
+ * verifier each run their own Transcript and must stay in sync, which the
+ * protocol tests verify.
+ */
+#ifndef ZKPHIRE_HASH_TRANSCRIPT_HPP
+#define ZKPHIRE_HASH_TRANSCRIPT_HPP
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "ff/fr.hpp"
+#include "hash/keccak.hpp"
+
+namespace zkphire::hash {
+
+/**
+ * SHA3-based Fiat-Shamir transcript with chained state.
+ *
+ * Each challenge is SHA3-256(state || pending messages); the digest becomes
+ * the new state, so challenges bind the full message history.
+ */
+class Transcript
+{
+  public:
+    /** @param label Domain separator for the protocol instance. */
+    explicit Transcript(std::string_view label);
+
+    /** Absorb a labeled byte string. */
+    void appendBytes(std::string_view label, std::span<const std::uint8_t> data);
+
+    /** Absorb a labeled field element (canonical little-endian bytes). */
+    void appendFr(std::string_view label, const ff::Fr &x);
+
+    /** Absorb a vector of field elements (e.g. one round's evaluations). */
+    void appendFrVec(std::string_view label, std::span<const ff::Fr> xs);
+
+    /** Absorb a 64-bit integer (problem sizes, counts). */
+    void appendU64(std::string_view label, std::uint64_t x);
+
+    /** Squeeze one Fr challenge. */
+    ff::Fr challengeFr(std::string_view label);
+
+    /** Squeeze n Fr challenges (e.g. the mu-dimensional ZeroCheck vector). */
+    std::vector<ff::Fr> challengeFrVec(std::string_view label, std::size_t n);
+
+    /** Number of sponge invocations so far (used by the SHA3 latency model). */
+    std::uint64_t hashCount() const { return hashes; }
+
+  private:
+    void flushInto(Keccak256Sponge &sponge);
+
+    Digest state{};
+    std::vector<std::uint8_t> pending;
+    std::uint64_t hashes = 0;
+};
+
+} // namespace zkphire::hash
+
+#endif // ZKPHIRE_HASH_TRANSCRIPT_HPP

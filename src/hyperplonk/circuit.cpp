@@ -1,0 +1,321 @@
+#include "hyperplonk/circuit.hpp"
+
+#include <cassert>
+
+namespace zkphire::hyperplonk {
+
+unsigned
+numSelectorCols(GateSystem sys)
+{
+    return sys == GateSystem::Vanilla ? 5u : 13u;
+}
+
+unsigned
+numWitnessCols(GateSystem sys)
+{
+    return sys == GateSystem::Vanilla ? 3u : 5u;
+}
+
+const gates::Gate &
+coreGate(GateSystem sys)
+{
+    static const gates::Gate vanilla = gates::vanillaCoreGate();
+    static const gates::Gate jellyfish = gates::jellyfishCoreGate();
+    return sys == GateSystem::Vanilla ? vanilla : jellyfish;
+}
+
+Circuit::Circuit(GateSystem sys_in) : sys(sys_in)
+{
+    selectorCols.resize(numSelectorCols(sys));
+    witnessCols.resize(numWitnessCols(sys));
+}
+
+std::size_t
+Circuit::addRow(std::span<const Fr> selectors, std::span<const Fr> witnesses)
+{
+    assert(selectors.size() == selectorCols.size());
+    assert(witnesses.size() == witnessCols.size());
+    for (std::size_t i = 0; i < selectors.size(); ++i)
+        selectorCols[i].push_back(selectors[i]);
+    for (std::size_t i = 0; i < witnesses.size(); ++i)
+        witnessCols[i].push_back(witnesses[i]);
+    return rows++;
+}
+
+namespace {
+
+const Fr &
+one()
+{
+    static const Fr v = Fr::one();
+    return v;
+}
+
+} // namespace
+
+Cell
+Circuit::addAddition(const Fr &a, const Fr &b)
+{
+    assert(sys == GateSystem::Vanilla);
+    // qL=1 qR=1 qM=0 qO=1 qC=0 : w1 + w2 - w3 = 0.
+    Fr sel[5] = {one(), one(), Fr::zero(), one(), Fr::zero()};
+    Fr wit[3] = {a, b, a + b};
+    std::size_t row = addRow(sel, wit);
+    return Cell{2, row};
+}
+
+Cell
+Circuit::addMultiplication(const Fr &a, const Fr &b)
+{
+    assert(sys == GateSystem::Vanilla);
+    Fr sel[5] = {Fr::zero(), Fr::zero(), one(), one(), Fr::zero()};
+    Fr wit[3] = {a, b, a * b};
+    std::size_t row = addRow(sel, wit);
+    return Cell{2, row};
+}
+
+Cell
+Circuit::addConstant(const Fr &c)
+{
+    assert(sys == GateSystem::Vanilla);
+    Fr sel[5] = {one(), Fr::zero(), Fr::zero(), Fr::zero(), c.neg()};
+    Fr wit[3] = {c, Fr::zero(), Fr::zero()};
+    std::size_t row = addRow(sel, wit);
+    return Cell{0, row};
+}
+
+Cell
+Circuit::addPow5(const Fr &a)
+{
+    assert(sys == GateSystem::Jellyfish);
+    // Selector order: q1..q4 qM1 qM2 qH1..qH4 qO qecc qC.
+    std::vector<Fr> sel(13, Fr::zero());
+    sel[6] = one();  // qH1
+    sel[10] = one(); // qO
+    Fr a5 = a * a * a * a * a;
+    Fr wit[5] = {a, Fr::zero(), Fr::zero(), Fr::zero(), a5};
+    std::size_t row = addRow(sel, wit);
+    return Cell{4, row};
+}
+
+Cell
+Circuit::addFma(const Fr &w1, const Fr &w2, const Fr &w3, const Fr &w4,
+                std::span<const Fr, 6> q)
+{
+    assert(sys == GateSystem::Jellyfish);
+    std::vector<Fr> sel(13, Fr::zero());
+    for (int i = 0; i < 4; ++i)
+        sel[i] = q[i];
+    sel[4] = q[4]; // qM1
+    sel[5] = q[5]; // qM2
+    sel[10] = one(); // qO
+    Fr out = q[0] * w1 + q[1] * w2 + q[2] * w3 + q[3] * w4 +
+             q[4] * w1 * w2 + q[5] * w3 * w4;
+    Fr wit[5] = {w1, w2, w3, w4, out};
+    std::size_t row = addRow(sel, wit);
+    return Cell{4, row};
+}
+
+Cell
+Circuit::addLinearCombination(std::span<const Fr, 4> w,
+                              std::span<const Fr, 4> q, const Fr &c)
+{
+    assert(sys == GateSystem::Jellyfish);
+    std::vector<Fr> sel(13, Fr::zero());
+    Fr out = c;
+    for (int i = 0; i < 4; ++i) {
+        sel[i] = q[i];
+        out += q[i] * w[i];
+    }
+    sel[10] = one(); // qO
+    sel[12] = c;     // qC
+    Fr wit[5] = {w[0], w[1], w[2], w[3], out};
+    std::size_t row = addRow(sel, wit);
+    return Cell{4, row};
+}
+
+Cell
+Circuit::addInput(const Fr &value)
+{
+    assert(sys == GateSystem::Jellyfish);
+    std::vector<Fr> sel(13, Fr::zero());
+    Fr wit[5] = {value, Fr::zero(), Fr::zero(), Fr::zero(), Fr::zero()};
+    std::size_t row = addRow(sel, wit);
+    return Cell{0, row};
+}
+
+Cell
+Circuit::addZero()
+{
+    assert(sys == GateSystem::Jellyfish);
+    std::vector<Fr> sel(13, Fr::zero());
+    sel[10] = one(); // qO: -w5 = 0
+    Fr wit[5] = {Fr::zero(), Fr::zero(), Fr::zero(), Fr::zero(),
+                 Fr::zero()};
+    std::size_t row = addRow(sel, wit);
+    return Cell{4, row};
+}
+
+Cell
+Circuit::addPinned(const Fr &c)
+{
+    assert(sys == GateSystem::Jellyfish);
+    std::vector<Fr> sel(13, Fr::zero());
+    sel[0] = one();   // q1
+    sel[12] = c.neg(); // qC: w1 - c = 0
+    Fr wit[5] = {c, Fr::zero(), Fr::zero(), Fr::zero(), Fr::zero()};
+    std::size_t row = addRow(sel, wit);
+    return Cell{0, row};
+}
+
+void
+Circuit::copy(Cell a, Cell b)
+{
+    assert(a.col < witnessCols.size() && a.row < rows);
+    assert(b.col < witnessCols.size() && b.row < rows);
+    assert(witness(a) == witness(b) &&
+           "copy constraint between unequal witness values");
+    copyPairs.emplace_back(a, b);
+}
+
+unsigned
+Circuit::padToPowerOfTwo()
+{
+    std::size_t target = 1;
+    unsigned mu = 0;
+    while (target < rows) {
+        target <<= 1;
+        ++mu;
+    }
+    std::vector<Fr> zero_sel(selectorCols.size(), Fr::zero());
+    std::vector<Fr> zero_wit(witnessCols.size(), Fr::zero());
+    while (rows < target)
+        addRow(zero_sel, zero_wit);
+    return mu;
+}
+
+std::vector<Mle>
+Circuit::selectorMles() const
+{
+    std::vector<Mle> out;
+    out.reserve(selectorCols.size());
+    for (const auto &col : selectorCols)
+        out.emplace_back(col);
+    return out;
+}
+
+std::vector<Mle>
+Circuit::witnessMles() const
+{
+    std::vector<Mle> out;
+    out.reserve(witnessCols.size());
+    for (const auto &col : witnessCols)
+        out.emplace_back(col);
+    return out;
+}
+
+bool
+Circuit::gatesSatisfied() const
+{
+    const gates::Gate &gate = coreGate(sys);
+    std::vector<Fr> slot_vals(gate.expr.numSlots());
+    for (std::size_t r = 0; r < rows; ++r) {
+        std::size_t s = 0;
+        for (const auto &col : selectorCols)
+            slot_vals[s++] = col[r];
+        for (const auto &col : witnessCols)
+            slot_vals[s++] = col[r];
+        if (!gate.expr.evaluate(slot_vals).isZero())
+            return false;
+    }
+    return true;
+}
+
+bool
+Circuit::copiesSatisfied() const
+{
+    for (const auto &[a, b] : copyPairs)
+        if (witness(a) != witness(b))
+            return false;
+    return true;
+}
+
+Circuit
+randomVanillaCircuit(unsigned mu, ff::Rng &rng)
+{
+    Circuit c(GateSystem::Vanilla);
+    const std::size_t n = std::size_t(1) << mu;
+    std::vector<Cell> outputs;
+    outputs.reserve(n);
+    bool reuse_a = false, reuse_b = false;
+    Cell src_a{}, src_b{};
+    auto pick_input = [&](bool &reused, Cell &src) -> Fr {
+        // Reuse an earlier output half the time (creates real wiring).
+        if (!outputs.empty() && rng.nextBelow(2) == 0) {
+            src = outputs[rng.nextBelow(outputs.size())];
+            reused = true;
+            return c.witness(src);
+        }
+        reused = false;
+        return Fr::random(rng);
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+        Fr a = pick_input(reuse_a, src_a);
+        Fr b = pick_input(reuse_b, src_b);
+        Cell out;
+        switch (rng.nextBelow(3)) {
+          case 0:
+            out = c.addAddition(a, b);
+            break;
+          case 1:
+            out = c.addMultiplication(a, b);
+            break;
+          default:
+            out = c.addConstant(a);
+            reuse_b = false;
+            break;
+        }
+        if (reuse_a)
+            c.copy(src_a, Cell{0, out.row});
+        if (reuse_b)
+            c.copy(src_b, Cell{1, out.row});
+        outputs.push_back(out);
+    }
+    return c;
+}
+
+Circuit
+randomJellyfishCircuit(unsigned mu, ff::Rng &rng)
+{
+    Circuit c(GateSystem::Jellyfish);
+    const std::size_t n = std::size_t(1) << mu;
+    std::vector<Cell> outputs;
+    outputs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        Fr a = Fr::random(rng);
+        Cell src{};
+        bool reused = false;
+        if (!outputs.empty() && rng.nextBelow(2) == 0) {
+            src = outputs[rng.nextBelow(outputs.size())];
+            a = c.witness(src);
+            reused = true;
+        }
+        Cell out;
+        if (rng.nextBelow(2) == 0) {
+            out = c.addPow5(a);
+            if (reused)
+                c.copy(src, Cell{0, out.row});
+        } else {
+            Fr q[6] = {Fr::random(rng), Fr::random(rng), Fr::random(rng),
+                       Fr::random(rng), Fr::one(),       Fr::one()};
+            out = c.addFma(a, Fr::random(rng), Fr::random(rng),
+                           Fr::random(rng), std::span<const Fr, 6>(q, 6));
+            if (reused)
+                c.copy(src, Cell{0, out.row});
+        }
+        outputs.push_back(out);
+    }
+    return c;
+}
+
+} // namespace zkphire::hyperplonk

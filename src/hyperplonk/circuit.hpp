@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Plonkish circuits for HyperPlonk: Vanilla (3 witness columns, 5 selectors)
+ * and Jellyfish (5 witness columns, 13 selectors) gate systems, with copy
+ * constraints ("wiring") enforced by the permutation argument.
+ *
+ * Rows carry both selector values and a full witness assignment; gadget
+ * helpers (addAddition, addMultiplication, addPow5, ...) compute outputs so
+ * examples and tests can build satisfying circuits declaratively. Synthetic
+ * generators produce satisfying circuits with realistic wiring and sparsity
+ * for benchmarking, mirroring how the paper synthesizes workloads from
+ * published gate counts.
+ */
+#ifndef ZKPHIRE_HYPERPLONK_CIRCUIT_HPP
+#define ZKPHIRE_HYPERPLONK_CIRCUIT_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "ff/rng.hpp"
+#include "gates/gate_library.hpp"
+#include "poly/mle.hpp"
+
+namespace zkphire::hyperplonk {
+
+using ff::Fr;
+using poly::Mle;
+
+/** Which Plonkish arithmetization the circuit uses. */
+enum class GateSystem { Vanilla, Jellyfish };
+
+/** Selector / witness column counts per gate system. */
+unsigned numSelectorCols(GateSystem sys);
+unsigned numWitnessCols(GateSystem sys);
+
+/**
+ * The circuit's core constraint expression (no f_r), slot order
+ * [selectors..., witnesses...], matching Circuit column order.
+ */
+const gates::Gate &coreGate(GateSystem sys);
+
+/** A witness cell: column j of row i. */
+struct Cell {
+    unsigned col = 0;
+    std::size_t row = 0;
+    bool operator==(const Cell &o) const = default;
+};
+
+/**
+ * A Plonkish circuit with a complete (satisfying) witness assignment.
+ */
+class Circuit
+{
+  public:
+    explicit Circuit(GateSystem sys);
+
+    GateSystem system() const { return sys; }
+    std::size_t numRows() const { return rows; }
+    unsigned numSelectors() const { return unsigned(selectorCols.size()); }
+    unsigned numWitnesses() const { return unsigned(witnessCols.size()); }
+
+    /**
+     * Append a raw row. selector/witness spans must match the gate system's
+     * column counts. Returns the row index.
+     */
+    std::size_t addRow(std::span<const Fr> selectors,
+                       std::span<const Fr> witnesses);
+
+    /** Vanilla gadget: w3 = w1 + w2. Returns the output cell. */
+    Cell addAddition(const Fr &a, const Fr &b);
+    /** Vanilla gadget: w3 = w1 * w2. */
+    Cell addMultiplication(const Fr &a, const Fr &b);
+    /** Vanilla gadget: pins w1 == c (qL = 1, qC = -c). */
+    Cell addConstant(const Fr &c);
+    /** Jellyfish gadget: w5 = w1^5 (the Rescue/Poseidon S-box). */
+    Cell addPow5(const Fr &a);
+    /**
+     * Jellyfish gadget: w5 = sum q_i w_i + qM1 w1 w2 + qM2 w3 w4 with the
+     * given linear selectors (a fused multiply-add row).
+     */
+    Cell addFma(const Fr &w1, const Fr &w2, const Fr &w3, const Fr &w4,
+                std::span<const Fr, 6> q);
+    /**
+     * Jellyfish gadget: w5 = q1 w1 + q2 w2 + q3 w3 + q4 w4 + c — an affine
+     * layer row (e.g. one MDS output lane of an AOH permutation).
+     */
+    Cell addLinearCombination(std::span<const Fr, 4> w,
+                              std::span<const Fr, 4> q, const Fr &c);
+    /** Jellyfish gadget: an unconstrained private input in w1. */
+    Cell addInput(const Fr &value);
+    /** Jellyfish gadget: a cell constrained to zero (in w5). */
+    Cell addZero();
+    /** Jellyfish gadget: pin cell value == c (q1 = 1, qC = -c). */
+    Cell addPinned(const Fr &c);
+
+    /** Enforce witness equality between two cells (a copy constraint). */
+    void copy(Cell a, Cell b);
+
+    /** Pad with no-op rows to the next power of two; returns mu = log2 N. */
+    unsigned padToPowerOfTwo();
+
+    /** Witness/selector accessors. */
+    const Fr &witness(Cell c) const { return witnessCols[c.col][c.row]; }
+    const std::vector<std::vector<Fr>> &selectors() const
+    {
+        return selectorCols;
+    }
+    const std::vector<std::vector<Fr>> &witnesses() const
+    {
+        return witnessCols;
+    }
+    const std::vector<std::pair<Cell, Cell>> &copies() const
+    {
+        return copyPairs;
+    }
+
+    /** Columns as MLEs (requires power-of-two rows). */
+    std::vector<Mle> selectorMles() const;
+    std::vector<Mle> witnessMles() const;
+
+    /** Does every row satisfy the core gate constraint? */
+    bool gatesSatisfied() const;
+    /** Do all copy constraints hold on the witness? */
+    bool copiesSatisfied() const;
+
+  private:
+    GateSystem sys;
+    std::size_t rows = 0;
+    std::vector<std::vector<Fr>> selectorCols;
+    std::vector<std::vector<Fr>> witnessCols;
+    std::vector<std::pair<Cell, Cell>> copyPairs;
+};
+
+/**
+ * Synthetic satisfying Vanilla circuit with 2^mu rows: random mix of
+ * additions, multiplications, and constants, with ~half of the gate inputs
+ * wired to earlier outputs (creating real copy constraints), mimicking the
+ * structure and sparsity of the paper's workloads.
+ */
+Circuit randomVanillaCircuit(unsigned mu, ff::Rng &rng);
+
+/** Synthetic satisfying Jellyfish circuit (pow5, FMA, and ECC-ish rows). */
+Circuit randomJellyfishCircuit(unsigned mu, ff::Rng &rng);
+
+} // namespace zkphire::hyperplonk
+
+#endif // ZKPHIRE_HYPERPLONK_CIRCUIT_HPP

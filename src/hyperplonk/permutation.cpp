@@ -1,0 +1,134 @@
+#include "hyperplonk/permutation.hpp"
+
+#include <cassert>
+#include <numeric>
+
+#include "ff/batch_inverse.hpp"
+
+namespace zkphire::hyperplonk {
+
+namespace {
+
+/** Union-find with path compression over global cell ids. */
+class UnionFind
+{
+  public:
+    explicit UnionFind(std::size_t n) : parent(n)
+    {
+        std::iota(parent.begin(), parent.end(), 0);
+    }
+
+    std::size_t
+    find(std::size_t x)
+    {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    }
+
+    void
+    unite(std::size_t a, std::size_t b)
+    {
+        parent[find(a)] = find(b);
+    }
+
+  private:
+    std::vector<std::size_t> parent;
+};
+
+} // namespace
+
+PermutationData
+buildPermutation(const Circuit &circuit)
+{
+    const std::size_t n = circuit.numRows();
+    const unsigned k = circuit.numWitnesses();
+    assert((n & (n - 1)) == 0 && "pad the circuit to a power of two first");
+
+    auto cell_id = [n](Cell c) { return std::size_t(c.col) * n + c.row; };
+
+    UnionFind uf(k * n);
+    for (const auto &[a, b] : circuit.copies())
+        uf.unite(cell_id(a), cell_id(b));
+
+    // Group cells by representative, then wire each class into one cycle.
+    std::vector<std::size_t> sigma_flat(k * n);
+    std::iota(sigma_flat.begin(), sigma_flat.end(), 0);
+    std::vector<std::vector<std::size_t>> classes(k * n);
+    for (std::size_t c = 0; c < k * n; ++c)
+        classes[uf.find(c)].push_back(c);
+    for (const auto &members : classes) {
+        if (members.size() < 2)
+            continue;
+        for (std::size_t i = 0; i < members.size(); ++i)
+            sigma_flat[members[i]] = members[(i + 1) % members.size()];
+    }
+
+    PermutationData out;
+    unsigned mu = 0;
+    while ((std::size_t(1) << mu) < n)
+        ++mu;
+    for (unsigned j = 0; j < k; ++j) {
+        Mle id_mle(mu), sigma_mle(mu);
+        for (std::size_t x = 0; x < n; ++x) {
+            id_mle[x] = Fr::fromU64(std::uint64_t(j) * n + x);
+            sigma_mle[x] = Fr::fromU64(sigma_flat[std::size_t(j) * n + x]);
+        }
+        out.id.push_back(std::move(id_mle));
+        out.sigma.push_back(std::move(sigma_mle));
+    }
+    return out;
+}
+
+FractionPolys
+buildFractionPolys(const std::vector<Mle> &witness,
+                   const PermutationData &perm, const Fr &beta,
+                   const Fr &gamma)
+{
+    const unsigned k = unsigned(witness.size());
+    assert(perm.id.size() == k && perm.sigma.size() == k);
+    const std::size_t n = witness[0].size();
+
+    FractionPolys out;
+    for (unsigned j = 0; j < k; ++j) {
+        Mle nj(witness[j].numVars()), dj(witness[j].numVars());
+        for (std::size_t x = 0; x < n; ++x) {
+            nj[x] = witness[j][x] + beta * perm.id[j][x] + gamma;
+            dj[x] = witness[j][x] + beta * perm.sigma[j][x] + gamma;
+        }
+        out.numer.push_back(std::move(nj));
+        out.denom.push_back(std::move(dj));
+    }
+
+    // phi = prod N / prod D with one batched inversion (PermQuotGen-style).
+    std::vector<Fr> denom_prod(n, Fr::one());
+    std::vector<Fr> numer_prod(n, Fr::one());
+    for (unsigned j = 0; j < k; ++j)
+        for (std::size_t x = 0; x < n; ++x) {
+            numer_prod[x] *= out.numer[j][x];
+            denom_prod[x] *= out.denom[j][x];
+        }
+    ff::batchInverseInPlace(std::span<Fr>(denom_prod));
+    std::vector<Fr> phi(n);
+    for (std::size_t x = 0; x < n; ++x)
+        phi[x] = numer_prod[x] * denom_prod[x];
+    out.phi = Mle(std::move(phi));
+    return out;
+}
+
+Fr
+evalIdMle(unsigned col, unsigned mu, std::span<const Fr> point)
+{
+    assert(point.size() == mu);
+    Fr acc = Fr::fromU64(std::uint64_t(col) << mu);
+    Fr pow2 = Fr::one();
+    for (unsigned i = 0; i < mu; ++i) {
+        acc += pow2 * point[i];
+        pow2 = pow2.dbl();
+    }
+    return acc;
+}
+
+} // namespace zkphire::hyperplonk

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Wiring permutation construction for the Wire Identity step.
+ *
+ * Copy constraints partition the k*N witness cells into equivalence classes;
+ * sigma maps each cell to the next one in its class's cycle (identity for
+ * singletons). The fractional polynomials are then
+ *     N_j(x) = w_j(x) + beta * id_j(x) + gamma
+ *     D_j(x) = w_j(x) + beta * sigma_j(x) + gamma
+ *     phi(x) = prod_j N_j(x) / prod_j D_j(x)
+ * whose grand product is 1 exactly when the witness respects the wiring
+ * (w.h.p. over beta, gamma). phi's division uses batched inversion — the
+ * same algorithm the Permutation Quotient Generator unit implements.
+ */
+#ifndef ZKPHIRE_HYPERPLONK_PERMUTATION_HPP
+#define ZKPHIRE_HYPERPLONK_PERMUTATION_HPP
+
+#include <vector>
+
+#include "hyperplonk/circuit.hpp"
+#include "poly/mle.hpp"
+
+namespace zkphire::hyperplonk {
+
+/** Per-column identity and sigma tables (values are global cell ids). */
+struct PermutationData {
+    std::vector<Mle> id;    // id_j[x] = j*N + x
+    std::vector<Mle> sigma; // image of cell (j, x) under the wiring cycle
+};
+
+/** Build id/sigma MLEs from a circuit's copy constraints. */
+PermutationData buildPermutation(const Circuit &circuit);
+
+/** N_j, D_j, and phi for given witness columns and challenges. */
+struct FractionPolys {
+    std::vector<Mle> numer; // N_j
+    std::vector<Mle> denom; // D_j
+    Mle phi;
+};
+
+FractionPolys buildFractionPolys(const std::vector<Mle> &witness,
+                                 const PermutationData &perm, const Fr &beta,
+                                 const Fr &gamma);
+
+/**
+ * Evaluate id_j at an arbitrary point: id_j is multilinear with
+ * id_j(x) = j*N + Sum_i 2^i x_i, so the verifier computes this in O(mu).
+ */
+Fr evalIdMle(unsigned col, unsigned mu, std::span<const Fr> point);
+
+} // namespace zkphire::hyperplonk
+
+#endif // ZKPHIRE_HYPERPLONK_PERMUTATION_HPP

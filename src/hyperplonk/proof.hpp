@@ -1,0 +1,67 @@
+/**
+ * @file
+ * HyperPlonk proof object and size accounting.
+ *
+ * The proof mirrors the paper's five prover steps: witness commitments,
+ * Gate Identity ZeroCheck, Wire Identity (phi/v commitments + PermCheck
+ * ZeroCheck), Batch Evaluations (two OpenChecks: one over mu-variable
+ * claims, one over the (mu+1)-variable product-tree polynomial v), and the
+ * final batched PCS openings. Size accounting assumes the standard
+ * compressed encodings (48 B G1 points, 32 B field elements), giving the
+ * "few KB" proofs the paper reports.
+ */
+#ifndef ZKPHIRE_HYPERPLONK_PROOF_HPP
+#define ZKPHIRE_HYPERPLONK_PROOF_HPP
+
+#include <string>
+#include <vector>
+
+#include "pcs/mkzg.hpp"
+#include "sumcheck/opencheck.hpp"
+#include "sumcheck/zerocheck.hpp"
+
+namespace zkphire::hyperplonk {
+
+/** Per-component proof size breakdown (bytes, compressed encodings). */
+struct ProofSizeBreakdown {
+    std::size_t commitments = 0;
+    std::size_t gateZeroCheck = 0;
+    std::size_t permZeroCheck = 0;
+    std::size_t openChecks = 0;
+    std::size_t pcsOpenings = 0;
+    std::size_t auxEvals = 0;
+    std::size_t total() const
+    {
+        return commitments + gateZeroCheck + permZeroCheck + openChecks +
+               pcsOpenings + auxEvals;
+    }
+    std::string toString() const;
+};
+
+/** A complete HyperPlonk proof. */
+struct HyperPlonkProof {
+    // Step 1: witness commitments.
+    std::vector<pcs::Commitment> witnessComms;
+    // Step 3: wire-identity commitments.
+    pcs::Commitment phiComm;
+    pcs::Commitment vComm;
+    // Steps 2-3: ZeroChecks.
+    sumcheck::ZerocheckProof gateZC;
+    sumcheck::ZerocheckProof permZC;
+    // Auxiliary claimed evaluations at the PermCheck point z_p.
+    std::vector<ff::Fr> wAtZp;
+    std::vector<ff::Fr> sigmaAtZp;
+    // Step 4: batched evaluation reductions.
+    sumcheck::OpencheckProof openA; // mu-variable claims
+    sumcheck::OpencheckProof openB; // claims on v (mu+1 variables)
+    // Step 5: PCS openings.
+    pcs::OpeningProof pcsA;
+    pcs::OpeningProof pcsB;
+
+    ProofSizeBreakdown sizeBreakdown() const;
+    std::size_t sizeBytes() const { return sizeBreakdown().total(); }
+};
+
+} // namespace zkphire::hyperplonk
+
+#endif // ZKPHIRE_HYPERPLONK_PROOF_HPP

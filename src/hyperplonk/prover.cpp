@@ -1,0 +1,188 @@
+#include "hyperplonk/prover.hpp"
+
+#include <cassert>
+#include <chrono>
+
+#include "hyperplonk/protocol_common.hpp"
+
+namespace zkphire::hyperplonk {
+
+using sumcheck::EvalClaim;
+
+namespace {
+
+double
+msSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+Keys
+setup(const Circuit &circuit, const pcs::Srs &srs)
+{
+    assert((circuit.numRows() & (circuit.numRows() - 1)) == 0 &&
+           "pad the circuit to a power of two before setup");
+    Keys keys;
+    ProvingKey &pk = keys.pk;
+    pk.sys = circuit.system();
+    unsigned mu = 0;
+    while ((std::size_t(1) << mu) < circuit.numRows())
+        ++mu;
+    pk.mu = mu;
+    pk.selectors = circuit.selectorMles();
+    pk.perm = buildPermutation(circuit);
+    pk.srs = &srs;
+    for (const Mle &sel : pk.selectors)
+        pk.selectorComms.push_back(pcs::commit(srs, sel));
+    for (const Mle &sig : pk.perm.sigma)
+        pk.sigmaComms.push_back(pcs::commit(srs, sig));
+
+    VerifyingKey &vk = keys.vk;
+    vk.sys = pk.sys;
+    vk.mu = pk.mu;
+    vk.selectorComms = pk.selectorComms;
+    vk.sigmaComms = pk.sigmaComms;
+    vk.srs = &srs;
+    return keys;
+}
+
+HyperPlonkProof
+prove(const ProvingKey &pk, const Circuit &circuit, ProverStats *stats,
+      unsigned threads)
+{
+    using Clock = std::chrono::steady_clock;
+    assert(circuit.system() == pk.sys);
+    assert(circuit.numRows() == (std::size_t(1) << pk.mu));
+
+    HyperPlonkProof proof;
+    ProverStats local_stats;
+    ProverStats &st = stats ? *stats : local_stats;
+    const pcs::Srs &srs = *pk.srs;
+    const unsigned k = numWitnessCols(pk.sys);
+
+    hash::Transcript tr = detail::beginTranscript(
+        pk.sys, pk.mu, pk.selectorComms, pk.sigmaComms);
+
+    // ---- Step 1: Witness Commitments --------------------------------
+    auto t0 = Clock::now();
+    std::vector<Mle> witness = circuit.witnessMles();
+    for (const Mle &w : witness)
+        proof.witnessComms.push_back(pcs::commit(srs, w, &st.msm));
+    for (const auto &c : proof.witnessComms)
+        pcs::appendG1(tr, "w_comm", c.point);
+    st.witnessCommitMs = msSince(t0);
+
+    // ---- Step 2: Gate Identity Check (ZeroCheck) ---------------------
+    t0 = Clock::now();
+    const gates::Gate &gate = coreGate(pk.sys);
+    std::vector<Mle> gate_tables;
+    gate_tables.reserve(gate.expr.numSlots());
+    for (const Mle &sel : pk.selectors)
+        gate_tables.push_back(sel);
+    for (const Mle &w : witness)
+        gate_tables.push_back(w);
+    auto gate_out = sumcheck::proveZero(gate.expr, std::move(gate_tables),
+                                        tr, threads);
+    proof.gateZC = std::move(gate_out.proof);
+    const std::vector<Fr> &z_g = gate_out.challenges;
+    st.gateIdentityMs = msSince(t0);
+
+    // ---- Step 3: Wire Identity Check ---------------------------------
+    t0 = Clock::now();
+    Fr beta = tr.challengeFr("beta");
+    Fr gamma = tr.challengeFr("gamma");
+    FractionPolys fracs = buildFractionPolys(witness, pk.perm, beta, gamma);
+    Mle v = sumcheck::buildProductTree(fracs.phi);
+    proof.phiComm = pcs::commit(srs, fracs.phi, &st.msm);
+    proof.vComm = pcs::commit(srs, v, &st.msm);
+    pcs::appendG1(tr, "phi_comm", proof.phiComm.point);
+    pcs::appendG1(tr, "v_comm", proof.vComm.point);
+    Fr alpha = tr.challengeFr("alpha");
+
+    gates::Gate perm_gate = gates::permCoreGate(k, alpha);
+    std::vector<Mle> perm_tables;
+    perm_tables.reserve(perm_gate.expr.numSlots());
+    perm_tables.push_back(sumcheck::extractPi(v));
+    perm_tables.push_back(sumcheck::extractP1(v));
+    perm_tables.push_back(sumcheck::extractP2(v));
+    perm_tables.push_back(fracs.phi);
+    for (unsigned j = 0; j < k; ++j)
+        perm_tables.push_back(fracs.denom[j]);
+    for (unsigned j = 0; j < k; ++j)
+        perm_tables.push_back(fracs.numer[j]);
+    auto perm_out = sumcheck::proveZero(perm_gate.expr,
+                                        std::move(perm_tables), tr, threads);
+    proof.permZC = std::move(perm_out.proof);
+    const std::vector<Fr> &z_p = perm_out.challenges;
+    st.wireIdentityMs = msSince(t0);
+
+    // ---- Step 4: Batch Evaluations (OpenChecks) ----------------------
+    t0 = Clock::now();
+    // Auxiliary claimed evaluations at z_p, absorbed before eta is drawn.
+    proof.wAtZp.resize(k);
+    proof.sigmaAtZp.resize(k);
+    for (unsigned j = 0; j < k; ++j) {
+        proof.wAtZp[j] = witness[j].evaluate(z_p);
+        proof.sigmaAtZp[j] = pk.perm.sigma[j].evaluate(z_p);
+    }
+    tr.appendFrVec("w_zp", proof.wAtZp);
+    tr.appendFrVec("sigma_zp", proof.sigmaAtZp);
+
+    const Fr phi_at_zp = proof.permZC.sc.finalSlotEvals[3];
+    std::vector<EvalClaim> claims_a = detail::buildClaimsA(
+        numSelectorCols(pk.sys), k, z_g, z_p,
+        proof.gateZC.sc.finalSlotEvals, proof.wAtZp, proof.sigmaAtZp,
+        phi_at_zp);
+    // Splice in the tables in claim order.
+    std::size_t ci = 0;
+    for (const Mle &sel : pk.selectors)
+        claims_a[ci++].table = sel;
+    for (const Mle &w : witness)
+        claims_a[ci++].table = w;
+    for (const Mle &w : witness)
+        claims_a[ci++].table = w;
+    for (const Mle &sig : pk.perm.sigma)
+        claims_a[ci++].table = sig;
+    claims_a[ci++].table = fracs.phi;
+    assert(ci == claims_a.size());
+
+    auto open_a = sumcheck::proveOpen(std::move(claims_a), tr, threads);
+    proof.openA = std::move(open_a.proof);
+
+    std::vector<EvalClaim> claims_b = detail::buildClaimsB(
+        pk.mu, z_p, proof.permZC.sc.finalSlotEvals[0],
+        proof.permZC.sc.finalSlotEvals[1], proof.permZC.sc.finalSlotEvals[2],
+        phi_at_zp);
+    for (auto &c : claims_b)
+        c.table = v;
+    auto open_b = sumcheck::proveOpen(std::move(claims_b), tr, threads);
+    proof.openB = std::move(open_b.proof);
+    st.batchEvalMs = msSince(t0);
+
+    // ---- Step 5: Polynomial Opening -----------------------------------
+    t0 = Clock::now();
+    Fr rho = tr.challengeFr("rho_a");
+    std::vector<Mle> polys_a;
+    polys_a.reserve(numSelectorCols(pk.sys) + 3 * k + 1);
+    for (const Mle &sel : pk.selectors)
+        polys_a.push_back(sel);
+    for (const Mle &w : witness)
+        polys_a.push_back(w);
+    for (const Mle &w : witness)
+        polys_a.push_back(w);
+    for (const Mle &sig : pk.perm.sigma)
+        polys_a.push_back(sig);
+    polys_a.push_back(fracs.phi);
+    proof.pcsA =
+        pcs::batchOpen(srs, polys_a, open_a.challenges, rho, &st.msm);
+    proof.pcsB = pcs::open(srs, v, open_b.challenges, &st.msm);
+    st.openingMs = msSince(t0);
+
+    return proof;
+}
+
+} // namespace zkphire::hyperplonk

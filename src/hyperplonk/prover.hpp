@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The HyperPlonk prover: the computation zkPHIRE accelerates.
+ *
+ * Five steps, exactly as the paper's §IV-A describes:
+ *   1. Witness Commitments      — k MSMs (MSM unit)
+ *   2. Gate Identity Check      — ZeroCheck (SumCheck + Forest units)
+ *   3. Wire Identity Check      — PermQuotGen + product tree + PermCheck
+ *                                 ZeroCheck + 2 MSM commitments
+ *   4. Batch Evaluations        — OpenChecks (Forest unit)
+ *   5. Polynomial Opening       — batched PCS openings (MLE Combine + MSM)
+ *
+ * Per-step wall-clock timings and MSM/SumCheck statistics are recorded so
+ * examples can compare the real CPU execution against the hardware model's
+ * predictions.
+ */
+#ifndef ZKPHIRE_HYPERPLONK_PROVER_HPP
+#define ZKPHIRE_HYPERPLONK_PROVER_HPP
+
+#include "hyperplonk/circuit.hpp"
+#include "hyperplonk/permutation.hpp"
+#include "hyperplonk/proof.hpp"
+#include "pcs/mkzg.hpp"
+
+namespace zkphire::hyperplonk {
+
+/** Preprocessed prover material for a fixed circuit. */
+struct ProvingKey {
+    GateSystem sys;
+    unsigned mu = 0;
+    std::vector<Mle> selectors;
+    PermutationData perm;
+    std::vector<pcs::Commitment> selectorComms;
+    std::vector<pcs::Commitment> sigmaComms;
+    const pcs::Srs *srs = nullptr;
+};
+
+/** Verifier-side preprocessed material. */
+struct VerifyingKey {
+    GateSystem sys;
+    unsigned mu = 0;
+    std::vector<pcs::Commitment> selectorComms;
+    std::vector<pcs::Commitment> sigmaComms;
+    const pcs::Srs *srs = nullptr;
+};
+
+/** Circuit preprocessing ("universal setup + indexing"). */
+struct Keys {
+    ProvingKey pk;
+    VerifyingKey vk;
+};
+Keys setup(const Circuit &circuit, const pcs::Srs &srs);
+
+/** Per-step prover timing (milliseconds) and kernel statistics. */
+struct ProverStats {
+    double witnessCommitMs = 0;
+    double gateIdentityMs = 0;
+    double wireIdentityMs = 0;
+    double batchEvalMs = 0;
+    double openingMs = 0;
+    double totalMs() const
+    {
+        return witnessCommitMs + gateIdentityMs + wireIdentityMs +
+               batchEvalMs + openingMs;
+    }
+    ec::MsmStats msm;
+};
+
+/**
+ * Produce a HyperPlonk proof for a satisfying circuit.
+ *
+ * @param threads SumCheck prover worker threads.
+ */
+HyperPlonkProof prove(const ProvingKey &pk, const Circuit &circuit,
+                      ProverStats *stats = nullptr, unsigned threads = 1);
+
+} // namespace zkphire::hyperplonk
+
+#endif // ZKPHIRE_HYPERPLONK_PROVER_HPP

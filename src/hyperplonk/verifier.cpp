@@ -1,0 +1,119 @@
+#include "hyperplonk/verifier.hpp"
+
+#include "hyperplonk/protocol_common.hpp"
+
+namespace zkphire::hyperplonk {
+
+using sumcheck::EvalClaim;
+
+VerifyResult
+verify(const VerifyingKey &vk, const HyperPlonkProof &proof)
+{
+    VerifyResult res;
+    auto fail = [&res](std::string msg) {
+        res.ok = false;
+        res.error = std::move(msg);
+        return res;
+    };
+
+    const unsigned k = numWitnessCols(vk.sys);
+    const unsigned num_sel = numSelectorCols(vk.sys);
+    if (proof.witnessComms.size() != k)
+        return fail("wrong number of witness commitments");
+    if (proof.wAtZp.size() != k || proof.sigmaAtZp.size() != k)
+        return fail("wrong number of auxiliary evaluations");
+
+    hash::Transcript tr = detail::beginTranscript(
+        vk.sys, vk.mu, vk.selectorComms, vk.sigmaComms);
+
+    // ---- Step 1: absorb witness commitments ---------------------------
+    for (const auto &c : proof.witnessComms)
+        pcs::appendG1(tr, "w_comm", c.point);
+
+    // ---- Step 2: Gate Identity ZeroCheck ------------------------------
+    const gates::Gate &gate = coreGate(vk.sys);
+    auto gate_res = sumcheck::verifyZero(gate.expr, proof.gateZC, vk.mu, tr);
+    if (!gate_res.ok)
+        return fail("gate ZeroCheck: " + gate_res.error);
+    const std::vector<Fr> &z_g = gate_res.challenges;
+
+    // ---- Step 3: Wire Identity ----------------------------------------
+    Fr beta = tr.challengeFr("beta");
+    Fr gamma = tr.challengeFr("gamma");
+    pcs::appendG1(tr, "phi_comm", proof.phiComm.point);
+    pcs::appendG1(tr, "v_comm", proof.vComm.point);
+    Fr alpha = tr.challengeFr("alpha");
+
+    gates::Gate perm_gate = gates::permCoreGate(k, alpha);
+    auto perm_res =
+        sumcheck::verifyZero(perm_gate.expr, proof.permZC, vk.mu, tr);
+    if (!perm_res.ok)
+        return fail("perm ZeroCheck: " + perm_res.error);
+    const std::vector<Fr> &z_p = perm_res.challenges;
+    // Slot order: pi p1 p2 phi D1..Dk N1..Nk.
+    const std::vector<Fr> &pe = perm_res.slotEvals;
+    const Fr &phi_at_zp = pe[3];
+
+    // N/D fraction consistency: D_j = w_j + beta*sigma_j + gamma and
+    // N_j = w_j + beta*id_j + gamma at z_p, with id_j computed locally.
+    for (unsigned j = 0; j < k; ++j) {
+        Fr d_expect = proof.wAtZp[j] + beta * proof.sigmaAtZp[j] + gamma;
+        if (pe[4 + j] != d_expect)
+            return fail("fraction denominator inconsistent at column " +
+                        std::to_string(j));
+        Fr n_expect =
+            proof.wAtZp[j] + beta * evalIdMle(j, vk.mu, z_p) + gamma;
+        if (pe[4 + k + j] != n_expect)
+            return fail("fraction numerator inconsistent at column " +
+                        std::to_string(j));
+    }
+
+    // ---- Step 4: Batch Evaluations ------------------------------------
+    tr.appendFrVec("w_zp", proof.wAtZp);
+    tr.appendFrVec("sigma_zp", proof.sigmaAtZp);
+
+    std::vector<EvalClaim> claims_a = detail::buildClaimsA(
+        num_sel, k, z_g, z_p, proof.gateZC.sc.finalSlotEvals, proof.wAtZp,
+        proof.sigmaAtZp, phi_at_zp);
+    auto open_a_res =
+        sumcheck::verifyOpen(claims_a, proof.openA, vk.mu, tr);
+    if (!open_a_res.ok)
+        return fail("OpenCheck A: " + open_a_res.error);
+
+    std::vector<EvalClaim> claims_b = detail::buildClaimsB(
+        vk.mu, z_p, pe[0], pe[1], pe[2], phi_at_zp);
+    auto open_b_res =
+        sumcheck::verifyOpen(claims_b, proof.openB, vk.mu + 1, tr);
+    if (!open_b_res.ok)
+        return fail("OpenCheck B: " + open_b_res.error);
+    // All five claims are on the same polynomial v, so their evaluations at
+    // the common point must agree.
+    for (std::size_t i = 1; i < open_b_res.polyEvals.size(); ++i)
+        if (open_b_res.polyEvals[i] != open_b_res.polyEvals[0])
+            return fail("inconsistent v evaluations in OpenCheck B");
+
+    // ---- Step 5: PCS openings ------------------------------------------
+    Fr rho = tr.challengeFr("rho_a");
+    std::vector<pcs::Commitment> comms_a;
+    comms_a.reserve(claims_a.size());
+    for (const auto &c : vk.selectorComms)
+        comms_a.push_back(c);
+    for (const auto &c : proof.witnessComms)
+        comms_a.push_back(c);
+    for (const auto &c : proof.witnessComms)
+        comms_a.push_back(c);
+    for (const auto &c : vk.sigmaComms)
+        comms_a.push_back(c);
+    comms_a.push_back(proof.phiComm);
+    if (!pcs::verifyBatchOpening(*vk.srs, comms_a, open_a_res.challenges,
+                                 open_a_res.polyEvals, rho, proof.pcsA))
+        return fail("PCS batch opening A failed");
+    if (!pcs::verifyOpening(*vk.srs, proof.vComm, open_b_res.challenges,
+                            open_b_res.polyEvals[0], proof.pcsB))
+        return fail("PCS opening B (product tree) failed");
+
+    res.ok = true;
+    return res;
+}
+
+} // namespace zkphire::hyperplonk

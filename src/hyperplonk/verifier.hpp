@@ -1,0 +1,32 @@
+/**
+ * @file
+ * HyperPlonk verifier.
+ *
+ * Replays the Fiat-Shamir transcript, verifies both ZeroChecks and both
+ * OpenChecks, checks the N/D fraction consistency against the wiring
+ * identity polynomials (id computed locally, sigma bound by commitment),
+ * checks the product-tree leaf/root bindings, and finally verifies the
+ * batched PCS openings. Returns a structured result naming the first check
+ * that failed, which the negative tests rely on.
+ */
+#ifndef ZKPHIRE_HYPERPLONK_VERIFIER_HPP
+#define ZKPHIRE_HYPERPLONK_VERIFIER_HPP
+
+#include <string>
+
+#include "hyperplonk/prover.hpp"
+
+namespace zkphire::hyperplonk {
+
+/** Verification outcome. */
+struct VerifyResult {
+    bool ok = false;
+    std::string error; ///< Empty on success; names the failed check.
+};
+
+/** Verify a HyperPlonk proof against a verifying key. */
+VerifyResult verify(const VerifyingKey &vk, const HyperPlonkProof &proof);
+
+} // namespace zkphire::hyperplonk
+
+#endif // ZKPHIRE_HYPERPLONK_VERIFIER_HPP

@@ -1,0 +1,98 @@
+#include "pcs/mkzg.hpp"
+
+#include <cassert>
+
+namespace zkphire::pcs {
+
+Commitment
+commit(const Srs &srs, const Mle &poly, ec::MsmStats *stats)
+{
+    const LevelBases &bases = srs.basesFor(poly.numVars());
+    G1Jacobian c = ec::msmPippenger(poly.evals(), bases.suffix[0], 0, stats);
+    return Commitment{c.toAffine()};
+}
+
+OpeningProof
+open(const Srs &srs, const Mle &poly, std::span<const Fr> z,
+     ec::MsmStats *stats)
+{
+    const unsigned mu = poly.numVars();
+    assert(z.size() == mu);
+    const LevelBases &bases = srs.basesFor(mu);
+
+    OpeningProof proof;
+    proof.quotients.reserve(mu);
+    Mle cur = poly;
+    for (unsigned k = 0; k < mu; ++k) {
+        // q_k(X_{k+1}..) = cur(1, X..) - cur(0, X..): adjacent differences.
+        const std::size_t half = cur.size() / 2;
+        std::vector<Fr> q(half);
+        for (std::size_t j = 0; j < half; ++j)
+            q[j] = cur[2 * j + 1] - cur[2 * j];
+        G1Jacobian pi =
+            ec::msmPippenger(q, bases.suffix[k + 1], 0, stats);
+        proof.quotients.push_back(pi.toAffine());
+        cur.fixFirstVarInPlace(z[k]);
+    }
+    return proof;
+}
+
+bool
+verifyOpening(const Srs &srs, const Commitment &c, std::span<const Fr> z,
+              const Fr &value, const OpeningProof &proof)
+{
+    const unsigned mu = unsigned(z.size());
+    if (proof.quotients.size() != mu)
+        return false;
+    // C - value * G == Sum_k (tau_k - z_k) * pi_k, checked in G1 with the
+    // simulation trapdoor tau (testing-only; production uses a pairing).
+    G1Jacobian lhs = G1Jacobian::fromAffine(c.point)
+                         .add(G1Jacobian::fromAffine(srs.generator())
+                                  .mulScalar(value)
+                                  .neg());
+    G1Jacobian rhs = G1Jacobian::identity();
+    for (unsigned k = 0; k < mu; ++k) {
+        Fr coeff = srs.tau()[k] - z[k];
+        rhs = rhs.add(
+            G1Jacobian::fromAffine(proof.quotients[k]).mulScalar(coeff));
+    }
+    return lhs == rhs;
+}
+
+OpeningProof
+batchOpen(const Srs &srs, std::span<const Mle> polys, std::span<const Fr> z,
+          const Fr &rho, ec::MsmStats *stats)
+{
+    assert(!polys.empty());
+    const unsigned mu = polys[0].numVars();
+    // g = Sum_i rho^i f_i.
+    Mle g(mu);
+    Fr coeff = Fr::one();
+    for (const Mle &f : polys) {
+        assert(f.numVars() == mu);
+        for (std::size_t j = 0; j < g.size(); ++j)
+            g[j] += coeff * f[j];
+        coeff *= rho;
+    }
+    return open(srs, g, z, stats);
+}
+
+bool
+verifyBatchOpening(const Srs &srs, std::span<const Commitment> cs,
+                   std::span<const Fr> z, std::span<const Fr> values,
+                   const Fr &rho, const OpeningProof &proof)
+{
+    assert(cs.size() == values.size());
+    // Combined commitment and value via linearity.
+    G1Jacobian c = G1Jacobian::identity();
+    Fr v = Fr::zero();
+    Fr coeff = Fr::one();
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+        c = c.add(G1Jacobian::fromAffine(cs[i].point).mulScalar(coeff));
+        v += coeff * values[i];
+        coeff *= rho;
+    }
+    return verifyOpening(srs, Commitment{c.toAffine()}, z, v, proof);
+}
+
+} // namespace zkphire::pcs

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Multilinear KZG (PST13) polynomial commitment scheme.
+ *
+ * Prover-side operations — Lagrange-basis commitment (one size-N MSM) and
+ * per-variable quotient opening proofs (mu MSMs of halving sizes) — follow
+ * the real protocol exactly; these are the MSMs zkPHIRE's MSM unit
+ * accelerates in Witness Commitment, Wire Identity, and Polynomial Opening.
+ * Verification checks the KZG identity
+ *     C - f(z) * G == Sum_k (tau_k - z_k) * pi_k
+ * in G1 using the SRS trapdoor (testing-only; see DESIGN.md substitutions)
+ * instead of the pairing, which lives verifier-side and is never modeled by
+ * the accelerator.
+ */
+#ifndef ZKPHIRE_PCS_MKZG_HPP
+#define ZKPHIRE_PCS_MKZG_HPP
+
+#include <span>
+#include <vector>
+
+#include "ec/msm.hpp"
+#include "pcs/srs.hpp"
+#include "poly/mle.hpp"
+
+namespace zkphire::pcs {
+
+using poly::Mle;
+
+/** A commitment to one multilinear polynomial. */
+struct Commitment {
+    G1Affine point;
+    bool operator==(const Commitment &o) const { return point == o.point; }
+};
+
+/** Opening proof: one quotient commitment per variable. */
+struct OpeningProof {
+    std::vector<G1Affine> quotients;
+    std::size_t sizeBytes() const { return quotients.size() * 96; }
+};
+
+/** Commit to a multilinear polynomial (size-2^mu MSM). */
+Commitment commit(const Srs &srs, const Mle &poly,
+                  ec::MsmStats *stats = nullptr);
+
+/**
+ * Open poly at z: produce quotient commitments pi_k with
+ * f(X) - f(z) = Sum_k (X_k - z_k) q_k(X_{k+1}..). Total MSM work ~2*2^mu.
+ */
+OpeningProof open(const Srs &srs, const Mle &poly, std::span<const Fr> z,
+                  ec::MsmStats *stats = nullptr);
+
+/**
+ * Verify an opening claim f(z) == value against a commitment.
+ * Testing-only trapdoor verification (see file comment).
+ */
+bool verifyOpening(const Srs &srs, const Commitment &c, std::span<const Fr> z,
+                   const Fr &value, const OpeningProof &proof);
+
+/**
+ * Batched opening of several polynomials at ONE shared point (the situation
+ * after OpenCheck): open Sum_i rho^i f_i with a single proof.
+ */
+OpeningProof batchOpen(const Srs &srs, std::span<const Mle> polys,
+                       std::span<const Fr> z, const Fr &rho,
+                       ec::MsmStats *stats = nullptr);
+
+/** Verify a batched opening given per-polynomial commitments and values. */
+bool verifyBatchOpening(const Srs &srs, std::span<const Commitment> cs,
+                        std::span<const Fr> z, std::span<const Fr> values,
+                        const Fr &rho, const OpeningProof &proof);
+
+} // namespace zkphire::pcs
+
+#endif // ZKPHIRE_PCS_MKZG_HPP

@@ -1,0 +1,57 @@
+#include "pcs/srs.hpp"
+
+#include <cassert>
+
+#include "poly/mle.hpp"
+
+namespace zkphire::pcs {
+
+Srs
+Srs::generate(unsigned max_vars, ff::Rng &rng)
+{
+    Srs srs;
+    srs.tauVec.reserve(max_vars);
+    for (unsigned i = 0; i < max_vars; ++i)
+        srs.tauVec.push_back(Fr::random(rng));
+    srs.gen = ec::g1Generator();
+    srs.genMul = std::make_unique<ec::FixedBaseMul>(srs.gen);
+    return srs;
+}
+
+const LevelBases &
+Srs::basesFor(unsigned mu) const
+{
+    assert(mu <= maxVars() && "polynomial larger than SRS supports");
+    auto it = cache.find(mu);
+    if (it != cache.end())
+        return it->second;
+
+    LevelBases level;
+    level.suffix.resize(mu + 1);
+    for (unsigned s = 0; s <= mu; ++s) {
+        // eq table over (tau_s .. tau_{mu-1}) in the scalar field, then
+        // lifted into the exponent with fixed-base multiplications.
+        std::vector<Fr> suffix_tau(tauVec.begin() + s, tauVec.begin() + mu);
+        poly::Mle eq = poly::Mle::eqTable(suffix_tau);
+        std::vector<G1Affine> pts;
+        pts.reserve(eq.size());
+        for (std::size_t i = 0; i < eq.size(); ++i)
+            pts.push_back(genMul->mul(eq[i]).toAffine());
+        level.suffix[s] = std::move(pts);
+    }
+    return cache.emplace(mu, std::move(level)).first->second;
+}
+
+void
+appendG1(hash::Transcript &tr, std::string_view label, const G1Affine &p)
+{
+    std::uint8_t bytes[2 * 48 + 1] = {};
+    if (!p.infinity) {
+        p.x.toBig().toBytesLe(bytes);
+        p.y.toBig().toBytesLe(bytes + 48);
+        bytes[96] = 1;
+    }
+    tr.appendBytes(label, bytes);
+}
+
+} // namespace zkphire::pcs

@@ -1,0 +1,128 @@
+#include "poly/gate_expr.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace zkphire::poly {
+
+SlotId
+GateExpr::addSlot(std::string name)
+{
+    slotNames.push_back(std::move(name));
+    return SlotId(slotNames.size() - 1);
+}
+
+void
+GateExpr::addTerm(std::initializer_list<SlotId> factors)
+{
+    addTerm(Fr::one(), std::vector<SlotId>(factors));
+}
+
+void
+GateExpr::addTerm(std::vector<SlotId> factors)
+{
+    addTerm(Fr::one(), std::move(factors));
+}
+
+void
+GateExpr::addTerm(const Fr &coeff, std::vector<SlotId> factors)
+{
+    for (SlotId f : factors)
+        assert(f < slotNames.size() && "term references unknown slot");
+    termList.push_back(Term{coeff, std::move(factors)});
+}
+
+std::size_t
+GateExpr::degree() const
+{
+    std::size_t d = 0;
+    for (const Term &t : termList)
+        d = std::max(d, t.degree());
+    return d;
+}
+
+std::size_t
+GateExpr::uniqueSlotsInTerm(std::size_t t) const
+{
+    assert(t < termList.size());
+    std::set<SlotId> uniq(termList[t].factors.begin(),
+                          termList[t].factors.end());
+    return uniq.size();
+}
+
+std::vector<SlotId>
+GateExpr::referencedSlots() const
+{
+    std::set<SlotId> uniq;
+    for (const Term &t : termList)
+        uniq.insert(t.factors.begin(), t.factors.end());
+    return {uniq.begin(), uniq.end()};
+}
+
+Fr
+GateExpr::evaluate(std::span<const Fr> slot_values) const
+{
+    assert(slot_values.size() >= slotNames.size());
+    Fr acc = Fr::zero();
+    for (const Term &t : termList) {
+        Fr prod = t.coeff;
+        for (SlotId f : t.factors)
+            prod *= slot_values[f];
+        acc += prod;
+    }
+    return acc;
+}
+
+GateExpr
+GateExpr::multipliedBySlot(std::string slot_name, SlotId *new_slot) const
+{
+    GateExpr out = *this;
+    SlotId s = out.addSlot(std::move(slot_name));
+    for (Term &t : out.termList)
+        t.factors.push_back(s);
+    if (new_slot)
+        *new_slot = s;
+    return out;
+}
+
+std::size_t
+GateExpr::mulsPerPoint() const
+{
+    std::size_t muls = 0;
+    for (const Term &t : termList) {
+        if (t.factors.empty())
+            continue;
+        muls += t.factors.size() - 1;
+        if (!t.coeff.isOne())
+            ++muls;
+    }
+    return muls;
+}
+
+std::string
+GateExpr::toString() const
+{
+    std::string s = exprName + ": ";
+    bool first_term = true;
+    for (const Term &t : termList) {
+        if (!first_term)
+            s += " + ";
+        first_term = false;
+        bool coeff_shown = false;
+        if (!t.coeff.isOne()) {
+            s += t.coeff.toHexString();
+            coeff_shown = true;
+        }
+        for (std::size_t i = 0; i < t.factors.size(); ++i) {
+            if (coeff_shown || i > 0)
+                s += "*";
+            s += slotNames[t.factors[i]];
+        }
+        if (t.factors.empty() && !coeff_shown)
+            s += "1";
+    }
+    return s;
+}
+
+} // namespace zkphire::poly

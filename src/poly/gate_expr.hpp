@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Composite polynomial (custom gate) expressions.
+ *
+ * A GateExpr is the symbolic structure the programmable SumCheck unit is
+ * programmed with: a sum of terms, each term a scalar coefficient times a
+ * product of references to constituent multilinear polynomials ("slots").
+ * Repeated factors express powers (e.g. Jellyfish's w1^5 is the slot of w1
+ * appearing five times). The same structure drives
+ *   - the functional SumCheck prover (src/sumcheck/),
+ *   - the hardware scheduler's graph decomposition (src/sim/sumcheck_sched),
+ *   - and the gate library reproducing Table I (src/gates/).
+ */
+#ifndef ZKPHIRE_POLY_GATE_EXPR_HPP
+#define ZKPHIRE_POLY_GATE_EXPR_HPP
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ff/fr.hpp"
+
+namespace zkphire::poly {
+
+using ff::Fr;
+
+/** Index of a constituent MLE slot within a GateExpr. */
+using SlotId = std::uint32_t;
+
+/** One product term: coeff * prod_k slot(factors[k]). */
+struct Term {
+    Fr coeff = Fr::one();
+    std::vector<SlotId> factors;
+
+    /** Polynomial degree of the term (number of MLE factors, with repeats). */
+    std::size_t degree() const { return factors.size(); }
+};
+
+/**
+ * A composite polynomial over named MLE slots.
+ */
+class GateExpr
+{
+  public:
+    GateExpr() = default;
+
+    /** @param name Human-readable identifier (e.g. "Jellyfish ZeroCheck"). */
+    explicit GateExpr(std::string name) : exprName(std::move(name)) {}
+
+    /** Register a named slot; returns its id. Names are for diagnostics. */
+    SlotId addSlot(std::string name);
+
+    /** Add a term with unit coefficient. */
+    void addTerm(std::initializer_list<SlotId> factors);
+    void addTerm(std::vector<SlotId> factors);
+
+    /** Add a term with an explicit coefficient. */
+    void addTerm(const Fr &coeff, std::vector<SlotId> factors);
+
+    const std::string &name() const { return exprName; }
+    std::size_t numSlots() const { return slotNames.size(); }
+    const std::string &slotName(SlotId s) const { return slotNames[s]; }
+    std::span<const Term> terms() const { return termList; }
+    std::size_t numTerms() const { return termList.size(); }
+
+    /** Maximum term degree = number of evaluations needed per round minus 1. */
+    std::size_t degree() const;
+
+    /** Number of distinct slots referenced by term t. */
+    std::size_t uniqueSlotsInTerm(std::size_t t) const;
+
+    /** Distinct slots referenced anywhere in the expression, in slot order. */
+    std::vector<SlotId> referencedSlots() const;
+
+    /** Evaluate the expression given a value per slot. */
+    Fr evaluate(std::span<const Fr> slot_values) const;
+
+    /**
+     * Return a copy with one extra slot appended and every term multiplied
+     * by it — how ZeroCheck folds the masking polynomial f_r into the
+     * expression (paper §III-F).
+     */
+    GateExpr multipliedBySlot(std::string slot_name, SlotId *new_slot) const;
+
+    /** Total modular multiplications to evaluate all terms at one point. */
+    std::size_t mulsPerPoint() const;
+
+    /** Pretty-print (for examples and DESIGN/EXPERIMENTS docs). */
+    std::string toString() const;
+
+  private:
+    std::string exprName;
+    std::vector<std::string> slotNames;
+    std::vector<Term> termList;
+};
+
+} // namespace zkphire::poly
+
+#endif // ZKPHIRE_POLY_GATE_EXPR_HPP

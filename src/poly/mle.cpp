@@ -1,0 +1,166 @@
+#include "poly/mle.hpp"
+
+#include <cassert>
+
+namespace zkphire::poly {
+
+namespace {
+
+bool
+isPowerOfTwo(std::size_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+unsigned
+log2Exact(std::size_t n)
+{
+    unsigned bits = 0;
+    while ((std::size_t(1) << bits) < n)
+        ++bits;
+    return bits;
+}
+
+} // namespace
+
+Mle::Mle(unsigned num_vars)
+    : vals(std::size_t(1) << num_vars, Fr::zero()), nVars(num_vars)
+{
+}
+
+Mle::Mle(std::vector<Fr> evals_in) : vals(std::move(evals_in))
+{
+    assert(isPowerOfTwo(vals.size()) && "MLE table must be a power of two");
+    nVars = log2Exact(vals.size());
+}
+
+Mle
+Mle::constant(unsigned num_vars, const Fr &c)
+{
+    Mle m(num_vars);
+    for (auto &v : m.vals)
+        v = c;
+    return m;
+}
+
+Mle
+Mle::random(unsigned num_vars, ff::Rng &rng)
+{
+    Mle m(num_vars);
+    for (auto &v : m.vals)
+        v = Fr::random(rng);
+    return m;
+}
+
+Mle
+Mle::randomSparse(unsigned num_vars, ff::Rng &rng, double p_zero, double p_one)
+{
+    assert(p_zero + p_one <= 1.0);
+    Mle m(num_vars);
+    for (auto &v : m.vals) {
+        double u = rng.nextDouble();
+        if (u < p_zero)
+            v = Fr::zero();
+        else if (u < p_zero + p_one)
+            v = Fr::one();
+        else
+            v = Fr::random(rng);
+    }
+    return m;
+}
+
+Mle
+Mle::eqTable(std::span<const Fr> r)
+{
+    // Tensor-product construction: variable i doubles the table, placing
+    // its 0/1 split at bit i of the index (x_i = 0 keeps the lower copy).
+    // This is the O(N)-multiplication Build MLE kernel run by the
+    // Multifunction Forest in hardware.
+    std::vector<Fr> table{Fr::one()};
+    table.reserve(std::size_t(1) << r.size());
+    for (std::size_t i = 0; i < r.size(); ++i) {
+        const std::size_t half = table.size();
+        std::vector<Fr> next(half * 2);
+        for (std::size_t j = 0; j < half; ++j) {
+            Fr hi = table[j] * r[i];
+            next[j] = table[j] - hi; // e*(1 - r_i)
+            next[j + half] = hi;     // e*r_i
+        }
+        table = std::move(next);
+    }
+    return Mle(std::move(table));
+}
+
+void
+Mle::fixFirstVarInPlace(const Fr &r)
+{
+    assert(nVars > 0 && "cannot fold a 0-variable MLE");
+    const std::size_t half = vals.size() / 2;
+    for (std::size_t j = 0; j < half; ++j) {
+        Fr lo = vals[2 * j];
+        Fr hi = vals[2 * j + 1];
+        vals[j] = lo + r * (hi - lo);
+    }
+    vals.resize(half);
+    --nVars;
+}
+
+Mle
+Mle::fixFirstVar(const Fr &r) const
+{
+    Mle out = *this;
+    out.fixFirstVarInPlace(r);
+    return out;
+}
+
+Fr
+Mle::evaluate(std::span<const Fr> point) const
+{
+    assert(point.size() == nVars && "evaluation point dimension mismatch");
+    Mle tmp = *this;
+    for (std::size_t i = 0; i < point.size(); ++i)
+        tmp.fixFirstVarInPlace(point[i]);
+    return tmp.vals[0];
+}
+
+Fr
+Mle::sumOverHypercube() const
+{
+    Fr acc = Fr::zero();
+    for (const Fr &v : vals)
+        acc += v;
+    return acc;
+}
+
+SparsityStats
+Mle::sparsity() const
+{
+    SparsityStats s;
+    if (vals.empty())
+        return s;
+    std::size_t zeros = 0, ones = 0;
+    for (const Fr &v : vals) {
+        if (v.isZero())
+            ++zeros;
+        else if (v.isOne())
+            ++ones;
+    }
+    s.fracZero = double(zeros) / double(vals.size());
+    s.fracOne = double(ones) / double(vals.size());
+    return s;
+}
+
+Fr
+eqEval(std::span<const Fr> x, std::span<const Fr> y)
+{
+    assert(x.size() == y.size());
+    Fr acc = Fr::one();
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        Fr xy = x[i] * y[i];
+        // x*y + (1-x)(1-y) = 2xy - x - y + 1
+        acc *= xy.dbl() - x[i] - y[i] + Fr::one();
+    }
+    return acc;
+}
+
+} // namespace zkphire::poly

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Multilinear extensions (MLEs) stored as dense evaluation tables.
+ *
+ * An Mle over mu variables is the table of its 2^mu evaluations on the
+ * boolean hypercube, "flat lookup tables indexed by binary inputs" as the
+ * paper puts it. Index convention (DESIGN.md): little-endian — bit 0 of the
+ * table index is X1, the first variable a SumCheck round sums over and then
+ * fixes. Consequently "MLE Update" (fixing X1 := r) combines adjacent entry
+ * pairs (2j, 2j+1), exactly the pairing shown in Fig. 1 of the paper.
+ */
+#ifndef ZKPHIRE_POLY_MLE_HPP
+#define ZKPHIRE_POLY_MLE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ff/fr.hpp"
+#include "ff/rng.hpp"
+
+namespace zkphire::poly {
+
+using ff::Fr;
+
+/** Fraction of entries that are 0 / 1 / other, consumed by the traffic model. */
+struct SparsityStats {
+    double fracZero = 0.0;
+    double fracOne = 0.0;
+    /** Fraction of full-width (255-bit) entries. */
+    double fracDense() const { return 1.0 - fracZero - fracOne; }
+};
+
+/**
+ * Dense multilinear extension table over the boolean hypercube.
+ */
+class Mle
+{
+  public:
+    Mle() = default;
+
+    /** Construct a zero MLE over num_vars variables. */
+    explicit Mle(unsigned num_vars);
+
+    /** Adopt an existing evaluation table; size must be a power of two. */
+    explicit Mle(std::vector<Fr> evals);
+
+    /** Constant polynomial c over num_vars variables. */
+    static Mle constant(unsigned num_vars, const Fr &c);
+
+    /** Uniformly random table (witness-style test data). */
+    static Mle random(unsigned num_vars, ff::Rng &rng);
+
+    /**
+     * Sparse random table mimicking the witness statistics the paper models
+     * (~90% of entries in {0,1}): each entry is 0 with probability p_zero,
+     * 1 with probability p_one, otherwise uniform.
+     */
+    static Mle randomSparse(unsigned num_vars, ff::Rng &rng, double p_zero,
+                            double p_one);
+
+    /**
+     * The eq(x, r) table: eq(x,r) = prod_i (x_i r_i + (1-x_i)(1-r_i)).
+     * This is the paper's "Build MLE" kernel constructing the ZeroCheck
+     * masking polynomial f_r from the challenge vector r.
+     */
+    static Mle eqTable(std::span<const Fr> r);
+
+    unsigned numVars() const { return nVars; }
+    std::size_t size() const { return vals.size(); }
+
+    const Fr &operator[](std::size_t i) const { return vals[i]; }
+    Fr &operator[](std::size_t i) { return vals[i]; }
+
+    const std::vector<Fr> &evals() const { return vals; }
+    std::vector<Fr> &evals() { return vals; }
+
+    /**
+     * MLE Update: fix X1 := r, halving the table. new[j] =
+     * old[2j]*(1-r) + old[2j+1]*r = old[2j] + r*(old[2j+1]-old[2j]).
+     */
+    void fixFirstVarInPlace(const Fr &r);
+
+    /** Non-destructive MLE Update. */
+    Mle fixFirstVar(const Fr &r) const;
+
+    /** Full evaluation at an arbitrary point (numVars coordinates). */
+    Fr evaluate(std::span<const Fr> point) const;
+
+    /** Sum of all table entries (the SumCheck claim for a bare MLE). */
+    Fr sumOverHypercube() const;
+
+    /** Measure actual 0/1 sparsity of the table. */
+    SparsityStats sparsity() const;
+
+    bool operator==(const Mle &o) const = default;
+
+  private:
+    std::vector<Fr> vals;
+    unsigned nVars = 0;
+};
+
+/**
+ * Evaluate eq(x, y) for two arbitrary points of equal dimension:
+ * prod_i (x_i y_i + (1-x_i)(1-y_i)).
+ */
+Fr eqEval(std::span<const Fr> x, std::span<const Fr> y);
+
+} // namespace zkphire::poly
+
+#endif // ZKPHIRE_POLY_MLE_HPP

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tiny symbolic polynomial algebra for building GateExprs.
+ *
+ * Table I's Halo2 constraints are products of multi-term brackets, e.g.
+ * q_add * ((x_r + x_q + x_p)(x_p - x_q)^2 - (y_p - y_q)^2). Expanding these
+ * by hand into GateExpr terms is error-prone, so SymPoly provides exact
+ * monomial algebra (+, -, *, pow) over slot variables and emits the expanded
+ * term list. Used only at gate-construction time, never on the hot path.
+ */
+#ifndef ZKPHIRE_POLY_SYM_POLY_HPP
+#define ZKPHIRE_POLY_SYM_POLY_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "poly/gate_expr.hpp"
+
+namespace zkphire::poly {
+
+/** Exact multivariate polynomial over GateExpr slots. */
+class SymPoly
+{
+  public:
+    SymPoly() = default;
+
+    /** The monomial consisting of a single slot variable. */
+    static SymPoly
+    var(SlotId s)
+    {
+        SymPoly p;
+        p.monos[{s}] = Fr::one();
+        return p;
+    }
+
+    /** A constant polynomial. */
+    static SymPoly
+    constant(const Fr &c)
+    {
+        SymPoly p;
+        if (!c.isZero())
+            p.monos[{}] = c;
+        return p;
+    }
+
+    static SymPoly constant(std::int64_t c) { return constant(Fr::fromI64(c)); }
+
+    SymPoly
+    operator+(const SymPoly &o) const
+    {
+        SymPoly out = *this;
+        for (const auto &[mono, coeff] : o.monos)
+            out.addMonomial(mono, coeff);
+        return out;
+    }
+
+    SymPoly
+    operator-(const SymPoly &o) const
+    {
+        SymPoly out = *this;
+        for (const auto &[mono, coeff] : o.monos)
+            out.addMonomial(mono, coeff.neg());
+        return out;
+    }
+
+    SymPoly
+    operator*(const SymPoly &o) const
+    {
+        SymPoly out;
+        for (const auto &[ma, ca] : monos) {
+            for (const auto &[mb, cb] : o.monos) {
+                std::vector<SlotId> mono = ma;
+                mono.insert(mono.end(), mb.begin(), mb.end());
+                std::sort(mono.begin(), mono.end());
+                out.addMonomial(mono, ca * cb);
+            }
+        }
+        return out;
+    }
+
+    SymPoly operator-() const { return SymPoly() - *this; }
+
+    SymPoly
+    pow(unsigned k) const
+    {
+        SymPoly out = constant(Fr::one());
+        for (unsigned i = 0; i < k; ++i)
+            out = out * *this;
+        return out;
+    }
+
+    /** Emit the expanded monomials as GateExpr terms (zero coeffs dropped). */
+    void
+    addTo(GateExpr &expr) const
+    {
+        for (const auto &[mono, coeff] : monos) {
+            if (coeff.isZero())
+                continue;
+            expr.addTerm(coeff, mono);
+        }
+    }
+
+    std::size_t numMonomials() const { return monos.size(); }
+
+  private:
+    void
+    addMonomial(const std::vector<SlotId> &mono, const Fr &coeff)
+    {
+        auto it = monos.find(mono);
+        if (it == monos.end()) {
+            if (!coeff.isZero())
+                monos[mono] = coeff;
+            return;
+        }
+        it->second += coeff;
+        if (it->second.isZero())
+            monos.erase(it);
+    }
+
+    std::map<std::vector<SlotId>, Fr> monos;
+};
+
+} // namespace zkphire::poly
+
+#endif // ZKPHIRE_POLY_SYM_POLY_HPP

@@ -1,0 +1,52 @@
+#include "poly/virtual_poly.hpp"
+
+namespace zkphire::poly {
+
+VirtualPoly::VirtualPoly(GateExpr expr, std::vector<Mle> mles)
+    : structure(std::move(expr)), tables(std::move(mles))
+{
+    assert(tables.size() == structure.numSlots() &&
+           "one MLE table required per expression slot");
+    assert(!tables.empty());
+    nVars = tables[0].numVars();
+    for (const Mle &m : tables)
+        assert(m.numVars() == nVars && "all slot tables must share numVars");
+}
+
+Fr
+VirtualPoly::evalAtIndex(std::size_t idx) const
+{
+    std::vector<Fr> slot_vals(tables.size());
+    for (std::size_t s = 0; s < tables.size(); ++s)
+        slot_vals[s] = tables[s][idx];
+    return structure.evaluate(slot_vals);
+}
+
+Fr
+VirtualPoly::evaluate(std::span<const Fr> point) const
+{
+    std::vector<Fr> slot_vals(tables.size());
+    for (std::size_t s = 0; s < tables.size(); ++s)
+        slot_vals[s] = tables[s].evaluate(point);
+    return structure.evaluate(slot_vals);
+}
+
+Fr
+VirtualPoly::sumOverHypercube() const
+{
+    Fr acc = Fr::zero();
+    const std::size_t n = std::size_t(1) << nVars;
+    for (std::size_t i = 0; i < n; ++i)
+        acc += evalAtIndex(i);
+    return acc;
+}
+
+void
+VirtualPoly::fixFirstVarInPlace(const Fr &r)
+{
+    for (Mle &m : tables)
+        m.fixFirstVarInPlace(r);
+    --nVars;
+}
+
+} // namespace zkphire::poly

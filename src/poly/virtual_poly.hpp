@@ -1,0 +1,64 @@
+/**
+ * @file
+ * VirtualPoly: a GateExpr bound to concrete MLE tables.
+ *
+ * This is the object SumCheck actually runs over — the paper's "given only
+ * the constituent polynomials and their composition structure, perform
+ * SumCheck over the composition". The prover folds all bound tables in
+ * lockstep each round.
+ */
+#ifndef ZKPHIRE_POLY_VIRTUAL_POLY_HPP
+#define ZKPHIRE_POLY_VIRTUAL_POLY_HPP
+
+#include <cassert>
+#include <span>
+#include <vector>
+
+#include "poly/gate_expr.hpp"
+#include "poly/mle.hpp"
+
+namespace zkphire::poly {
+
+/**
+ * Composite polynomial with bound evaluation tables.
+ *
+ * Owns copies of the constituent MLEs so the SumCheck prover can fold them
+ * destructively without touching caller state.
+ */
+class VirtualPoly
+{
+  public:
+    /**
+     * @param expr Composition structure (slots, terms, coefficients).
+     * @param mles One table per slot, all with the same number of variables.
+     */
+    VirtualPoly(GateExpr expr, std::vector<Mle> mles);
+
+    const GateExpr &expr() const { return structure; }
+    unsigned numVars() const { return nVars; }
+    std::size_t numSlots() const { return tables.size(); }
+
+    const Mle &table(SlotId s) const { return tables[s]; }
+    Mle &table(SlotId s) { return tables[s]; }
+
+    /** Evaluate the composition at a hypercube index. */
+    Fr evalAtIndex(std::size_t idx) const;
+
+    /** Evaluate the composition at an arbitrary point (O(slots * N)). */
+    Fr evaluate(std::span<const Fr> point) const;
+
+    /** Direct Sum_x expr(x) over the hypercube — the SumCheck claim. */
+    Fr sumOverHypercube() const;
+
+    /** Fold every bound table with the round challenge (MLE Update). */
+    void fixFirstVarInPlace(const Fr &r);
+
+  private:
+    GateExpr structure;
+    std::vector<Mle> tables;
+    unsigned nVars = 0;
+};
+
+} // namespace zkphire::poly
+
+#endif // ZKPHIRE_POLY_VIRTUAL_POLY_HPP

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Baseline performance models: multi-threaded CPU and A100-class GPU.
+ *
+ * Both are operation-count / traffic models with a small number of fitted
+ * constants (see DESIGN.md's calibration policy): the op counts are exact
+ * (derived from the same polynomial shapes and Pippenger structure as the
+ * functional kernels), while the fitted constants set the absolute level
+ * and are anchored to the paper's reported CPU/GPU columns (Table II for
+ * the 4-thread SumCheck CPU and the GPU, Tables VI/VII for the 32-thread
+ * protocol CPU). EXPERIMENTS.md reports the fit quality.
+ */
+#ifndef ZKPHIRE_SIM_BASELINE_HPP
+#define ZKPHIRE_SIM_BASELINE_HPP
+
+#include "sim/chip.hpp"
+#include "sim/sumcheck_sched.hpp"
+
+namespace zkphire::sim {
+
+/**
+ * Multi-threaded CPU model (AMD EPYC 7502-class).
+ *
+ * SumCheck time follows an additive roofline
+ *     t = bytes / streamGBs + muls / mulGps,
+ * i.e. the naive prover alternates bandwidth-bound table walks with
+ * compute-bound product evaluation. The two 4-thread constants were fitted
+ * jointly to the seven Table II CPU anchors (fit quality ~±12%; see
+ * bench_calibration); the 32-thread constants to Tables VI/VII.
+ */
+struct CpuModel {
+    unsigned threads = 32;
+
+    /** Effective streaming bandwidth (GB/s) of the SumCheck inner loop. */
+    double
+    streamGBs() const
+    {
+        return threads <= 4 ? 1.48 : 2.2;
+    }
+    /** Effective modular-multiplication throughput (Gmul/s). */
+    double
+    mulGps() const
+    {
+        return threads <= 4 ? 0.10 : 0.30;
+    }
+    /** Effective ns per Jacobian point addition (Pippenger inner loop). */
+    double
+    nsPerPointAdd() const
+    {
+        return threads <= 4 ? 160.0 : 42.0;
+    }
+
+    /** Total modular multiplications of a SumCheck prover run. */
+    static double sumcheckModmuls(const PolyShape &shape, unsigned mu);
+
+    /** Total bytes the SumCheck prover streams (reads + fold writes). */
+    static double sumcheckBytes(const PolyShape &shape, unsigned mu);
+
+    /** SumCheck prover time (ms). */
+    double sumcheckMs(const PolyShape &shape, unsigned mu) const;
+
+    /** Pippenger point-adds for an MSM of n points with given sparsity. */
+    static double msmPointAdds(const MsmWorkload &wl);
+
+    /** MSM time (ms). */
+    double msmMs(const MsmWorkload &wl) const;
+
+    /** Full HyperPlonk prover time (ms) for a protocol workload. */
+    double protocolMs(const ProtocolWorkload &wl) const;
+
+    /** Step breakdown matching Fig. 12a's categories. */
+    struct ProtocolBreakdown {
+        double sparseMsm = 0, gateIdentity = 0, genPermMles = 0,
+               permDenseMsm = 0, permCheck = 0, batchEvals = 0,
+               mleCombine = 0, openCheck = 0, polyOpenMsm = 0;
+        double total() const
+        {
+            return sparseMsm + gateIdentity + genPermMles + permDenseMsm +
+                   permCheck + batchEvals + mleCombine + openCheck +
+                   polyOpenMsm;
+        }
+    };
+    ProtocolBreakdown protocolBreakdown(const ProtocolWorkload &wl) const;
+};
+
+/** A100-class GPU SumCheck model (ICICLE-like). */
+struct GpuModel {
+    double bandwidthGBs = 1600.0; ///< A100 40 GB HBM2e.
+    /** Achieved fraction of peak bandwidth for SumCheck kernels (fitted). */
+    double efficiency = 0.0075;
+    /** Per-round kernel launch + challenge round trip (ms, fitted). */
+    double perRoundOverheadMs = 0.8;
+    /** ICICLE supports at most 8 unique constituent polynomials. */
+    unsigned maxUniqueMles = 8;
+
+    /** Whether the library can run this composition at all. */
+    bool
+    supports(const PolyShape &shape) const
+    {
+        return shape.uniqueSlots().size() <= maxUniqueMles;
+    }
+
+    /** SumCheck time (ms); asserts supports(shape). */
+    double sumcheckMs(const PolyShape &shape, unsigned mu) const;
+};
+
+} // namespace zkphire::sim
+
+#endif // ZKPHIRE_SIM_BASELINE_HPP

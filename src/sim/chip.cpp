@@ -1,0 +1,331 @@
+#include "sim/chip.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zkphire::sim {
+
+namespace {
+
+/** Gate-library rows for the three protocol SumChecks. */
+int
+gateZcRow(GateSystem sys)
+{
+    return sys == GateSystem::Vanilla ? 20 : 22;
+}
+
+int
+permZcRow(GateSystem sys)
+{
+    return sys == GateSystem::Vanilla ? 21 : 23;
+}
+
+const PolyShape &
+cachedShape(int row)
+{
+    // Magic static: built once, safe under the DSE's worker threads.
+    static const std::vector<PolyShape> shapes = [] {
+        std::vector<PolyShape> s;
+        s.reserve(25);
+        for (int i = 0; i < 25; ++i)
+            s.push_back(PolyShape::fromGate(gates::tableIGate(i)));
+        return s;
+    }();
+    return shapes[std::size_t(row)];
+}
+
+double
+cyclesToMs(double cycles, const Tech &tech)
+{
+    return cycles / (tech.clockGhz * 1e6);
+}
+
+/** Per-PE control/delay-buffer overhead in the SumCheck unit (mm^2). */
+constexpr double kSumcheckPerPeOverheadMm2 = 0.40;
+/** SHA3 block + paddings (mm^2). */
+constexpr double kSha3AreaMm2 = 0.5;
+/** Control, batch buffers, RR-select logic across "Other" modules (mm^2). */
+constexpr double kOtherBaseMm2 = 5.0;
+/** Fixed small local buffers: PermQuotGen/MLE-Combine/Forest, 3 x 6 MB. */
+constexpr double kFixedBufferMB = 18.0;
+/** Interconnect (two bit-sliced crossbars + shared bus) vs compute area. */
+constexpr double kInterconnectFraction = 0.145;
+
+} // namespace
+
+ChipConfig
+ChipConfig::exemplar()
+{
+    ChipConfig cfg;
+    cfg.sumcheck.numPEs = 16;
+    cfg.sumcheck.numEEs = 7;
+    cfg.sumcheck.numPLs = 5;
+    cfg.sumcheck.bankWords = 1 << 13;
+    cfg.msm.numPEs = 32;
+    cfg.msm.windowBits = 9;
+    cfg.msm.pointsPerPe = 16 * 1024;
+    cfg.forest.numTrees = 80;
+    cfg.permq.numPEs = 4;
+    cfg.bandwidthGBs = 2048;
+    cfg.maskZeroCheck = true;
+    cfg.setFixedPrime(true);
+    return cfg;
+}
+
+unsigned
+ChipConfig::derivedForestTrees(const SumcheckUnitConfig &sc)
+{
+    // Size the forest to the SumCheck PL demand plus one third headroom for
+    // concurrent tree ops (80 trees at the exemplar's 600-mul demand).
+    const double demand = double(sc.numPEs) * double(sc.plMulsPerPe());
+    return unsigned(std::ceil(demand * 4.0 / (3.0 * 8.0)));
+}
+
+void
+ChipConfig::setFixedPrime(bool fixed)
+{
+    sumcheck.fixedPrime = fixed;
+    msm.fixedPrime = fixed;
+    forest.fixedPrime = fixed;
+    permq.fixedPrime = fixed;
+    combine.fixedPrime = fixed;
+}
+
+unsigned
+ChipConfig::totalModmuls() const
+{
+    // 381-bit muls in the PADD pipelines, 255-bit elsewhere. The SumCheck
+    // product lanes are physically the forest trees (not double counted).
+    unsigned msm_muls = msm.numPEs * defaultTech().paddModmuls;
+    unsigned forest_muls = forest.numTrees * forest.mulsPerTree;
+    unsigned sc_muls = sumcheck.numPEs * sumcheck.updateMulsPerPe();
+    unsigned permq_muls = permq.numPEs * 4 + 2;
+    unsigned combine_muls = combine.numLanes();
+    return msm_muls + forest_muls + sc_muls + permq_muls + combine_muls;
+}
+
+ProtocolWorkload
+ProtocolWorkload::custom(const gates::Gate &gate, unsigned mu,
+                         unsigned witnesses, unsigned selectors)
+{
+    ProtocolWorkload w;
+    w.mu = mu;
+    w.customWitnesses = witnesses;
+    w.customSelectors = selectors;
+    gates::Gate masked = gate;
+    masked.expr = gate.expr.multipliedBySlot("f_r", nullptr);
+    masked.roles.push_back(gates::SlotRole::Dense);
+    w.customGateWithFr = std::make_shared<const PolyShape>(
+        PolyShape::fromGate(masked));
+    return w;
+}
+
+namespace {
+
+/** PermCheck shape for an arbitrary witness-column count (with f_r). */
+PolyShape
+permShapeFor(unsigned k)
+{
+    gates::Gate core = gates::permCoreGate(k, ff::Fr::fromU64(7));
+    gates::Gate masked = core;
+    masked.expr = core.expr.multipliedBySlot("f_r", nullptr);
+    masked.roles.push_back(gates::SlotRole::Dense);
+    return PolyShape::fromGate(masked);
+}
+
+} // namespace
+
+AreaBreakdown
+ChipConfig::areaBreakdown(const Tech &tech) const
+{
+    AreaBreakdown a;
+    a.msm = msm.areaMm2(tech);
+    a.forest = forest.areaMm2(tech);
+    const double mul = tech.modmul255(sumcheck.fixedPrime);
+    a.sumcheck = double(sumcheck.numPEs) *
+                 (double(sumcheck.updateMulsPerPe()) * mul +
+                  double(sumcheck.numEEs) * 0.15 * mul +
+                  kSumcheckPerPeOverheadMm2);
+    a.other = permq.areaMm2(tech) + combine.areaMm2(tech) + kSha3AreaMm2 +
+              kOtherBaseMm2;
+    const double sram_mb =
+        sumcheck.sramMB() + msm.sramMB() + kFixedBufferMB;
+    a.sram = sram_mb * tech.sramMm2PerMB;
+    a.interconnect = kInterconnectFraction * a.compute();
+    a.hbmPhy = tech.phyAreaMm2(bandwidthGBs);
+    return a;
+}
+
+PowerBreakdown
+ChipConfig::powerBreakdown(const Tech &tech) const
+{
+    AreaBreakdown a = areaBreakdown(tech);
+    PowerBreakdown p;
+    p.msm = a.msm * tech.msmPowerDensity;
+    p.forest = a.forest * tech.forestPowerDensity;
+    p.sumcheck = a.sumcheck * tech.sumcheckPowerDensity;
+    p.other = a.other * tech.otherPowerDensity;
+    p.sram = a.sram * tech.sramPowerDensity;
+    p.interconnect = a.interconnect * tech.interconnectPowerDensity;
+    p.hbmPhy = a.hbmPhy * tech.hbmPhyPowerDensity;
+    return p;
+}
+
+ChipRunResult
+simulateProtocol(const ChipConfig &cfg, const ProtocolWorkload &wl,
+                 const Tech &tech)
+{
+    ChipRunResult res;
+    const double n = std::pow(2.0, double(wl.mu));
+    const unsigned k = wl.numWitness();
+    const unsigned s = wl.numSelectors();
+    const double bw = cfg.bandwidthGBs;
+
+    // The SumCheck unit's PL multipliers live in the forest; derate if the
+    // forest is undersized for the configured PL demand.
+    SumcheckUnitConfig sc = cfg.sumcheck;
+    const double pl_demand = double(sc.numPEs) * double(sc.plMulsPerPe());
+    if (!cfg.zkSpeedBaseline && pl_demand > 0)
+        sc.plCapacityScale =
+            std::min(1.0, cfg.forest.mulsPerCycle() / pl_demand);
+
+    // ---- Step 1: Witness Commitments (k sparse MSMs) -------------------
+    for (unsigned j = 0; j < k; ++j)
+        res.steps.witnessMsm += cyclesToMs(
+            simulateMsm(cfg.msm, MsmWorkload::sparse(n), bw, tech).cycles,
+            tech);
+
+    // ---- Step 2: Gate Identity (ZeroCheck) ------------------------------
+    const PolyShape &gate_shape = wl.customGateWithFr
+                                      ? *wl.customGateWithFr
+                                      : cachedShape(gateZcRow(wl.sys));
+    SumcheckWorkload gate_wl;
+    gate_wl.shape = gate_shape;
+    gate_wl.numVars = wl.mu;
+    double zk_speed_prep_ms = 0;
+    if (cfg.zkSpeedBaseline) {
+        // zkSpeed builds f_r with a separate Build-MLE pass (write + read
+        // back), and runs a fixed-function datapath wide enough for the
+        // whole composite polynomial with a resident global scratchpad.
+        sc.numEEs = unsigned(gate_shape.numSlots);
+        sc.numPLs = unsigned(gate_shape.degree() + 1);
+        sc.globalScratchpad = true;
+        sc.fullyUnrolled = true;
+        sc.fuseUpdates = cfg.zkSpeedPlusUpdates;
+        gate_wl.fusedFrSlot = -1;
+        zk_speed_prep_ms =
+            cyclesToMs(simulateForest(cfg.forest, buildMleTask(wl.mu), bw,
+                                      tech),
+                       tech) +
+            cyclesToMs(2.0 * n * Tech::frBytes / (bw / tech.clockGhz),
+                       tech);
+    } else {
+        gate_wl.fusedFrSlot = int(gate_shape.numSlots) - 1; // f_r is last
+    }
+    SumcheckRunResult gate_run = simulateSumcheck(sc, gate_wl, bw, tech);
+    res.steps.gateZeroCheck = cyclesToMs(gate_run.cycles, tech) +
+                              zk_speed_prep_ms;
+    res.sumcheckUtilization = gate_run.utilization;
+
+    // ---- Step 3: Wire Identity ------------------------------------------
+    // PermQuotGen streams N/D/phi; the phi commitment MSM and the product
+    // tree consume the stream directly (Fig. 5), so the three overlap.
+    PermQRunResult permq_run =
+        simulatePermQ(cfg.permq, wl.mu, k, bw, tech);
+    double msm_phi = cyclesToMs(
+        simulateMsm(cfg.msm, MsmWorkload::dense(n), bw, tech).cycles, tech);
+    double product = cyclesToMs(
+        simulateForest(cfg.forest, productMleTask(wl.mu), bw, tech), tech);
+    res.steps.wirePermQ = cyclesToMs(permq_run.cycles, tech);
+    res.steps.wireProductTree = std::max(
+        0.0, product - res.steps.wirePermQ); // overlapped remainder
+    // v is committed once built: a dense MSM of 2N.
+    double msm_v = cyclesToMs(
+        simulateMsm(cfg.msm, MsmWorkload::dense(2.0 * n), bw, tech).cycles,
+        tech);
+    res.steps.wireMsm = std::max(0.0, msm_phi - res.steps.wirePermQ) + msm_v;
+
+    const PolyShape perm_shape = wl.customGateWithFr
+                                     ? permShapeFor(k)
+                                     : cachedShape(permZcRow(wl.sys));
+    SumcheckWorkload perm_wl;
+    perm_wl.shape = perm_shape;
+    perm_wl.numVars = wl.mu;
+    if (cfg.zkSpeedBaseline) {
+        SumcheckUnitConfig sc_perm = sc;
+        sc_perm.numEEs = unsigned(perm_shape.numSlots);
+        sc_perm.numPLs = unsigned(perm_shape.degree() + 1);
+        perm_wl.fusedFrSlot = -1;
+        res.steps.wirePermCheck = cyclesToMs(
+            simulateSumcheck(sc_perm, perm_wl, bw, tech).cycles, tech);
+    } else {
+        perm_wl.fusedFrSlot = int(perm_shape.numSlots) - 1;
+        res.steps.wirePermCheck = cyclesToMs(
+            simulateSumcheck(sc, perm_wl, bw, tech).cycles, tech);
+    }
+
+    // ---- Step 4: Batch Evaluations --------------------------------------
+    const unsigned opened_polys = s + 3 * k + 1;
+    double batch = simulateForest(cfg.forest,
+                                  batchEvalTask(wl.mu, opened_polys), bw,
+                                  tech) +
+                   simulateForest(cfg.forest, batchEvalTask(wl.mu + 1, 5),
+                                  bw, tech);
+    res.steps.batchEval = cyclesToMs(batch, tech);
+
+    // ---- Step 5: Polynomial Opening --------------------------------------
+    const PolyShape &open_shape = cachedShape(24);
+    SumcheckWorkload open_wl;
+    open_wl.shape = open_shape;
+    open_wl.numVars = wl.mu;
+    open_wl.fusedFrSlot = -1; // the f_ri selectors are ordinary dense MLEs
+    res.steps.openCheck = cyclesToMs(
+        simulateSumcheck(sc, open_wl, bw, tech).cycles, tech);
+    // Build the f_ri eq tables feeding the OpenCheck (Forest).
+    double fr_builds = 0;
+    for (int i = 0; i < 6; ++i)
+        fr_builds += simulateForest(cfg.forest, buildMleTask(wl.mu), bw,
+                                    tech);
+    res.steps.openCombine =
+        cyclesToMs(fr_builds, tech) +
+        cyclesToMs(simulateMleCombine(cfg.combine, wl.mu, opened_polys, bw,
+                                      tech),
+                   tech);
+    // Quotient-commitment MSMs for the single combined opening (all claims
+    // fold into one batched polynomial including v, so the halving quotient
+    // sizes sum to ~2N -- "the combined polynomial commitment is then
+    // opened using the MSM unit").
+    res.steps.openMsm = cyclesToMs(
+        simulateMsm(cfg.msm, MsmWorkload::dense(2.0 * n), bw, tech).cycles,
+        tech);
+
+    // ---- Masked ZeroCheck (paper §IV-A) ----------------------------------
+    if (cfg.maskZeroCheck)
+        res.maskedSavingMs =
+            std::min(res.steps.gateZeroCheck,
+                     res.steps.wireMsm + res.steps.wirePermQ);
+    res.totalMs = res.steps.totalUnmasked() - res.maskedSavingMs;
+    res.proofBytes = estimateProofBytes(wl.sys, wl.mu);
+    return res;
+}
+
+double
+estimateProofBytes(GateSystem sys, unsigned mu)
+{
+    const double fr_b = 32.0, pt_b = 48.0;
+    const unsigned k = hyperplonk::numWitnessCols(sys);
+    const unsigned s = hyperplonk::numSelectorCols(sys);
+    const double d_gate = sys == GateSystem::Vanilla ? 4 : 7;
+    const double d_perm = sys == GateSystem::Vanilla ? 5 : 7;
+    double bytes = 0;
+    bytes += (k + 2) * pt_b;                              // commitments
+    bytes += (mu * d_gate + s + k + 1 + 1) * fr_b;        // gate ZC
+    bytes += (mu * d_perm + 4 + 2 * k + 1 + 1) * fr_b;    // perm ZC
+    bytes += (mu * 2.0 + 2 * (s + 3 * k + 1) + 1) * fr_b; // OpenCheck A
+    bytes += ((mu + 1) * 2.0 + 10 + 1) * fr_b;            // OpenCheck B
+    bytes += 2.0 * k * fr_b;                              // aux evals
+    bytes += (2.0 * mu + 1) * pt_b;                       // PCS openings
+    return bytes;
+}
+
+} // namespace zkphire::sim

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Full-chip zkPHIRE model (paper §IV, Fig. 4): composes the SumCheck unit,
+ * Multifunction Forest, MSM unit, Permutation Quotient Generator, and MLE
+ * Combine into the five-step HyperPlonk protocol, with the Masked-ZeroCheck
+ * scheduling optimization, area/power roll-up (Table V), and a proof-size
+ * model. Baseline switches reproduce zkSpeed / zkSpeed+ in the same
+ * framework for the iso-area comparisons.
+ */
+#ifndef ZKPHIRE_SIM_CHIP_HPP
+#define ZKPHIRE_SIM_CHIP_HPP
+
+#include <memory>
+#include <string>
+
+#include "hyperplonk/circuit.hpp"
+#include "sim/forest.hpp"
+#include "sim/mle_combine.hpp"
+#include "sim/msm_unit.hpp"
+#include "sim/permq.hpp"
+#include "sim/sumcheck_unit.hpp"
+
+namespace zkphire::sim {
+
+using hyperplonk::GateSystem;
+
+/** Area breakdown in mm^2 (Table V / Fig. 11 categories). */
+struct AreaBreakdown {
+    double msm = 0;
+    double forest = 0;
+    double sumcheck = 0; ///< Update units + EEs + control (PLs live in forest).
+    double other = 0;    ///< PermQuotGen, MLE Combine, SHA3.
+    double sram = 0;
+    double interconnect = 0;
+    double hbmPhy = 0;
+    double compute() const { return msm + forest + sumcheck + other; }
+    double total() const
+    {
+        return compute() + sram + interconnect + hbmPhy;
+    }
+};
+
+/** Average power breakdown in W (Table V categories). */
+struct PowerBreakdown {
+    double msm = 0, forest = 0, sumcheck = 0, other = 0;
+    double sram = 0, interconnect = 0, hbmPhy = 0;
+    double total() const
+    {
+        return msm + forest + sumcheck + other + sram + interconnect +
+               hbmPhy;
+    }
+};
+
+/** Full accelerator configuration. */
+struct ChipConfig {
+    SumcheckUnitConfig sumcheck;
+    MsmUnitConfig msm;
+    ForestConfig forest;
+    PermQConfig permq;
+    MleCombineConfig combine;
+    double bandwidthGBs = 2048;
+    bool maskZeroCheck = true;
+    /** zkSpeed-style fixed-function SumCheck + resident scratchpad. */
+    bool zkSpeedBaseline = false;
+    /** With zkSpeedBaseline: pipeline updates (zkSpeed+ vs zkSpeed). */
+    bool zkSpeedPlusUpdates = true;
+
+    /** The paper's Table V exemplar: 294 mm^2, 2 TB/s, fixed primes. */
+    static ChipConfig exemplar();
+
+    /** Derive forest size from SumCheck PL demand (80 trees at exemplar). */
+    static unsigned derivedForestTrees(const SumcheckUnitConfig &sc);
+
+    /** Propagate the fixed/arbitrary prime choice to all units. */
+    void setFixedPrime(bool fixed);
+
+    AreaBreakdown areaBreakdown(const Tech &tech = defaultTech()) const;
+    PowerBreakdown powerBreakdown(const Tech &tech = defaultTech()) const;
+    double areaMm2(const Tech &tech = defaultTech()) const
+    {
+        return areaBreakdown(tech).total();
+    }
+    /** Total modular multipliers on chip (Table IX accounting). */
+    unsigned totalModmuls() const;
+};
+
+/** Protocol workload description. */
+struct ProtocolWorkload {
+    GateSystem sys = GateSystem::Jellyfish;
+    unsigned mu = 24; ///< log2 gate count for this arithmetization.
+    /**
+     * Optional custom gate (paper §VI-B5's high-degree sweep): the gate
+     * constraint INCLUDING a trailing f_r slot, with explicit column
+     * widths. When set, it replaces the Vanilla/Jellyfish gate identity.
+     */
+    std::shared_ptr<const PolyShape> customGateWithFr;
+    unsigned customWitnesses = 0;
+    unsigned customSelectors = 0;
+
+    static ProtocolWorkload
+    vanilla(unsigned mu)
+    {
+        ProtocolWorkload w;
+        w.sys = GateSystem::Vanilla;
+        w.mu = mu;
+        return w;
+    }
+    static ProtocolWorkload
+    jellyfish(unsigned mu)
+    {
+        ProtocolWorkload w;
+        w.sys = GateSystem::Jellyfish;
+        w.mu = mu;
+        return w;
+    }
+    /** Fig. 14 workload: a custom gate with explicit witness/selector
+     *  counts (f_r slot appended here). */
+    static ProtocolWorkload custom(const gates::Gate &gate, unsigned mu,
+                                   unsigned witnesses, unsigned selectors);
+
+    unsigned numWitness() const
+    {
+        return customGateWithFr ? customWitnesses
+                                : hyperplonk::numWitnessCols(sys);
+    }
+    unsigned numSelectors() const
+    {
+        return customGateWithFr ? customSelectors
+                                : hyperplonk::numSelectorCols(sys);
+    }
+};
+
+/** Per-step runtimes in milliseconds (Fig. 11/12 categories). */
+struct StepTimes {
+    double witnessMsm = 0;
+    double gateZeroCheck = 0;
+    double wirePermQ = 0;
+    double wireProductTree = 0;
+    double wireMsm = 0;
+    double wirePermCheck = 0;
+    double batchEval = 0;
+    double openCheck = 0;
+    double openCombine = 0;
+    double openMsm = 0;
+
+    double wireIdentity() const
+    {
+        return wirePermQ + wireProductTree + wireMsm + wirePermCheck;
+    }
+    double polyOpen() const { return openCheck + openCombine + openMsm; }
+    double totalUnmasked() const
+    {
+        return witnessMsm + gateZeroCheck + wireIdentity() + batchEval +
+               polyOpen();
+    }
+};
+
+/** Simulation result for one protocol run. */
+struct ChipRunResult {
+    StepTimes steps;
+    double maskedSavingMs = 0; ///< Gate-ZeroCheck time hidden under MSMs.
+    double totalMs = 0;
+    double proofBytes = 0;
+    /** SumCheck modmul utilization (gate ZeroCheck run). */
+    double sumcheckUtilization = 0;
+};
+
+/** Run the five-step protocol on a chip configuration. */
+ChipRunResult simulateProtocol(const ChipConfig &cfg,
+                               const ProtocolWorkload &wl,
+                               const Tech &tech = defaultTech());
+
+/** Analytic proof-size model (compressed encodings; see proof.cpp). */
+double estimateProofBytes(GateSystem sys, unsigned mu);
+
+} // namespace zkphire::sim
+
+#endif // ZKPHIRE_SIM_CHIP_HPP

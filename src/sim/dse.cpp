@@ -1,0 +1,179 @@
+#include "sim/dse.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <thread>
+
+namespace zkphire::sim {
+
+DseGrid
+DseGrid::coarse()
+{
+    DseGrid g;
+    g.sumcheckPEs = {4, 16, 32};
+    g.extensionEngines = {3, 5, 7};
+    g.productLanes = {4, 6, 8};
+    g.sramBankWords = {1u << 12, 1u << 14};
+    g.msmPEs = {8, 16, 32};
+    g.msmWindows = {8, 10};
+    g.msmPointsPerPe = {4096, 16384};
+    g.fracMlePEs = {2, 4};
+    g.bandwidthsGBs = {256, 1024, 2048};
+    return g;
+}
+
+std::vector<DsePoint>
+paretoFilter(std::vector<DsePoint> points)
+{
+    std::sort(points.begin(), points.end(),
+              [](const DsePoint &a, const DsePoint &b) {
+                  if (a.runtimeMs != b.runtimeMs)
+                      return a.runtimeMs < b.runtimeMs;
+                  return a.areaMm2 < b.areaMm2;
+              });
+    std::vector<DsePoint> pareto;
+    double best_area = std::numeric_limits<double>::infinity();
+    for (DsePoint &p : points) {
+        if (p.areaMm2 < best_area) {
+            best_area = p.areaMm2;
+            pareto.push_back(std::move(p));
+        }
+    }
+    return pareto;
+}
+
+DseResult
+runDse(const ProtocolWorkload &wl, const DseGrid &grid, unsigned threads,
+       const Tech &tech)
+{
+    // Materialize all configurations first, then evaluate in parallel.
+    std::vector<ChipConfig> configs;
+    for (double bw : grid.bandwidthsGBs)
+        for (unsigned sc_pe : grid.sumcheckPEs)
+            for (unsigned ee : grid.extensionEngines)
+                for (unsigned pl : grid.productLanes)
+                    for (std::size_t bank : grid.sramBankWords)
+                        for (unsigned msm_pe : grid.msmPEs)
+                            for (unsigned w : grid.msmWindows)
+                                for (std::size_t pts : grid.msmPointsPerPe)
+                                    for (unsigned fq : grid.fracMlePEs) {
+                                        ChipConfig cfg;
+                                        cfg.sumcheck.numPEs = sc_pe;
+                                        cfg.sumcheck.numEEs = ee;
+                                        cfg.sumcheck.numPLs = pl;
+                                        cfg.sumcheck.bankWords = bank;
+                                        cfg.msm.numPEs = msm_pe;
+                                        cfg.msm.windowBits = w;
+                                        cfg.msm.pointsPerPe = pts;
+                                        cfg.permq.numPEs = fq;
+                                        cfg.forest.numTrees =
+                                            ChipConfig::derivedForestTrees(
+                                                cfg.sumcheck);
+                                        cfg.bandwidthGBs = bw;
+                                        cfg.setFixedPrime(true);
+                                        configs.push_back(cfg);
+                                    }
+
+    std::vector<DsePoint> points(configs.size());
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+        for (;;) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= configs.size())
+                return;
+            DsePoint p;
+            p.cfg = configs[i];
+            p.runtimeMs = simulateProtocol(configs[i], wl, tech).totalMs;
+            p.areaMm2 = configs[i].areaMm2(tech);
+            points[i] = std::move(p);
+        }
+    };
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < std::max(1u, threads); ++t)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+
+    DseResult res;
+    res.evaluatedPoints = points.size();
+    for (double bw : grid.bandwidthsGBs) {
+        std::vector<DsePoint> tier;
+        for (const DsePoint &p : points)
+            if (p.cfg.bandwidthGBs == bw)
+                tier.push_back(p);
+        res.perBandwidth.emplace_back(bw, paretoFilter(std::move(tier)));
+    }
+    res.globalPareto = paretoFilter(points);
+    return res;
+}
+
+SumcheckDsePick
+pickSumcheckDesign(const std::vector<PolyShape> &polys, double bandwidth_gbs,
+                   const SumcheckDseOptions &opts, const Tech &tech)
+{
+    struct Candidate {
+        SumcheckUnitConfig cfg;
+        std::vector<double> runtimes;
+        std::vector<double> utils;
+    };
+    std::vector<Candidate> cands;
+    for (unsigned pe : opts.peChoices)
+        for (unsigned ee : opts.eeChoices)
+            for (unsigned pl : opts.plChoices)
+                for (std::size_t bank : opts.bankChoices) {
+                    SumcheckUnitConfig cfg;
+                    cfg.numPEs = pe;
+                    cfg.numEEs = ee;
+                    cfg.numPLs = pl;
+                    cfg.bankWords = bank;
+                    cfg.fixedPrime = opts.fixedPrime;
+                    if (cfg.areaMm2(tech) > opts.areaCapMm2)
+                        continue;
+                    Candidate c;
+                    c.cfg = cfg;
+                    for (const PolyShape &shape : polys) {
+                        SumcheckWorkload wl;
+                        wl.shape = shape;
+                        wl.numVars = opts.numVars;
+                        auto run =
+                            simulateSumcheck(cfg, wl, bandwidth_gbs, tech);
+                        c.runtimes.push_back(run.timeMs(tech));
+                        c.utils.push_back(run.utilization);
+                    }
+                    cands.push_back(std::move(c));
+                }
+
+    // Per-polynomial best runtime in the (area-feasible) space.
+    const std::size_t np = polys.size();
+    std::vector<double> best(np, std::numeric_limits<double>::infinity());
+    for (const Candidate &c : cands)
+        for (std::size_t i = 0; i < np; ++i)
+            best[i] = std::min(best[i], c.runtimes[i]);
+
+    // Objective: (1-lambda)*geomean(slowdown) + lambda*(1 - mean(util)).
+    SumcheckDsePick pick;
+    double best_obj = std::numeric_limits<double>::infinity();
+    for (const Candidate &c : cands) {
+        double log_sd = 0, util = 0;
+        for (std::size_t i = 0; i < np; ++i) {
+            log_sd += std::log(c.runtimes[i] / best[i]);
+            util += c.utils[i];
+        }
+        double geo_sd = std::exp(log_sd / double(np));
+        double mean_util = util / double(np);
+        double obj = (1.0 - opts.lambda) * geo_sd +
+                     opts.lambda * (1.0 - mean_util);
+        if (obj < best_obj) {
+            best_obj = obj;
+            pick.cfg = c.cfg;
+            pick.objective = obj;
+            pick.meanUtilization = mean_util;
+            pick.runtimesMs = c.runtimes;
+        }
+    }
+    return pick;
+}
+
+} // namespace zkphire::sim

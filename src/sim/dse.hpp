@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Design-space exploration (paper §VI-B1, Table III): sweep SumCheck PEs /
+ * EEs / PLs / SRAM, MSM PEs / window / buffer, FracMLE PEs, and bandwidth;
+ * evaluate the protocol model for each; extract per-bandwidth and global
+ * runtime-area Pareto frontiers (Fig. 10, Table IV).
+ */
+#ifndef ZKPHIRE_SIM_DSE_HPP
+#define ZKPHIRE_SIM_DSE_HPP
+
+#include <vector>
+
+#include "sim/chip.hpp"
+
+namespace zkphire::sim {
+
+/** Table III sweep grid. */
+struct DseGrid {
+    std::vector<unsigned> sumcheckPEs = {1, 2, 4, 8, 16, 32};
+    std::vector<unsigned> extensionEngines = {2, 3, 4, 5, 6, 7};
+    std::vector<unsigned> productLanes = {3, 4, 5, 6, 7, 8};
+    std::vector<std::size_t> sramBankWords = {1u << 10, 1u << 11, 1u << 12,
+                                              1u << 13, 1u << 14, 1u << 15};
+    std::vector<unsigned> msmPEs = {1, 2, 4, 8, 16, 32};
+    std::vector<unsigned> msmWindows = {7, 8, 9, 10};
+    std::vector<std::size_t> msmPointsPerPe = {1024, 2048, 4096, 8192,
+                                               16384};
+    std::vector<unsigned> fracMlePEs = {1, 2, 3, 4};
+    std::vector<double> bandwidthsGBs = {64,   128,  256, 512,
+                                         1024, 2048, 4096};
+
+    /** A thinned grid for tests and quick runs. */
+    static DseGrid coarse();
+};
+
+/** One evaluated design point. */
+struct DsePoint {
+    ChipConfig cfg;
+    double runtimeMs = 0;
+    double areaMm2 = 0;
+
+    bool
+    dominates(const DsePoint &o) const
+    {
+        return runtimeMs <= o.runtimeMs && areaMm2 <= o.areaMm2 &&
+               (runtimeMs < o.runtimeMs || areaMm2 < o.areaMm2);
+    }
+};
+
+/** DSE outcome. */
+struct DseResult {
+    /** Pareto frontier per bandwidth tier, sorted by runtime. */
+    std::vector<std::pair<double, std::vector<DsePoint>>> perBandwidth;
+    /** Global Pareto frontier across all bandwidths. */
+    std::vector<DsePoint> globalPareto;
+    std::size_t evaluatedPoints = 0;
+};
+
+/** Keep only non-dominated points, sorted by increasing runtime. */
+std::vector<DsePoint> paretoFilter(std::vector<DsePoint> points);
+
+/**
+ * Run the sweep for a workload. Evaluation parallelizes across
+ * std::thread workers.
+ */
+DseResult runDse(const ProtocolWorkload &wl, const DseGrid &grid,
+                 unsigned threads = 8, const Tech &tech = defaultTech());
+
+/**
+ * The Fig. 6-style standalone SumCheck search: best SumCheck unit per
+ * bandwidth under an area cap, with the paper's objective
+ * (1-lambda)*geomean-slowdown + lambda*(1-mean-utilization).
+ */
+struct SumcheckDseOptions {
+    double areaCapMm2 = 37.0; ///< 4-thread CPU core area (paper §VI-A1).
+    double lambda = 0.8;
+    unsigned numVars = 24;
+    bool fixedPrime = true;
+    std::vector<unsigned> peChoices = {1, 2, 4, 8, 16, 32};
+    std::vector<unsigned> eeChoices = {2, 3, 4, 5, 6, 7};
+    std::vector<unsigned> plChoices = {3, 4, 5, 6, 7, 8};
+    std::vector<std::size_t> bankChoices = {1u << 10, 1u << 12, 1u << 14};
+};
+
+struct SumcheckDsePick {
+    SumcheckUnitConfig cfg;
+    double objective = 0;
+    double meanUtilization = 0;
+    /** Per-polynomial runtime (ms) on the chosen design. */
+    std::vector<double> runtimesMs;
+};
+
+/** Pick the best standalone SumCheck design for a polynomial set. */
+SumcheckDsePick pickSumcheckDesign(const std::vector<PolyShape> &polys,
+                                   double bandwidth_gbs,
+                                   const SumcheckDseOptions &opts,
+                                   const Tech &tech = defaultTech());
+
+} // namespace zkphire::sim
+
+#endif // ZKPHIRE_SIM_DSE_HPP

@@ -1,0 +1,58 @@
+#include "sim/forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zkphire::sim {
+
+ForestTask
+buildMleTask(unsigned mu)
+{
+    const double n = std::pow(2.0, double(mu));
+    ForestTask t;
+    // Tensor-product construction: one multiply per produced entry
+    // (sum over levels ~= 2N), streaming the final table out.
+    t.mulOps = 2.0 * n;
+    t.trafficBytes = n * Tech::frBytes;
+    t.treeDepth = double(mu);
+    return t;
+}
+
+ForestTask
+productMleTask(unsigned mu)
+{
+    const double n = std::pow(2.0, double(mu));
+    ForestTask t;
+    // One multiply per internal tree node (~N), read phi, write v (2N).
+    t.mulOps = n;
+    t.trafficBytes = 3.0 * n * Tech::frBytes;
+    t.treeDepth = double(mu);
+    return t;
+}
+
+ForestTask
+batchEvalTask(unsigned mu, unsigned num_polys)
+{
+    const double n = std::pow(2.0, double(mu));
+    ForestTask t;
+    // Folding evaluation: N + N/2 + ... ~= 2N muls per polynomial, each
+    // polynomial streamed in once.
+    t.mulOps = 2.0 * n * double(num_polys);
+    t.trafficBytes = n * Tech::frBytes * double(num_polys);
+    t.treeDepth = double(mu) * double(num_polys);
+    return t;
+}
+
+double
+simulateForest(const ForestConfig &cfg, const ForestTask &task,
+               double bandwidth_gbs, const Tech &tech)
+{
+    const double compute = task.mulOps / cfg.mulsPerCycle() +
+                           task.treeDepth * double(tech.modmulLatency);
+    const double bytes_per_cycle = bandwidth_gbs / tech.clockGhz;
+    const double mem =
+        bytes_per_cycle > 0 ? task.trafficBytes / bytes_per_cycle : 0.0;
+    return std::max(compute, mem);
+}
+
+} // namespace zkphire::sim

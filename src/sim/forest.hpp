@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Multifunction Forest model (paper §IV-B2).
+ *
+ * A pool of binary-tree multiplier units (8 modmuls each, after the MTU of
+ * zkSpeed) shared between three roles: Build-MLE (eq-table construction),
+ * product-MLE construction (the grand-product tree), and batched MLE
+ * evaluations. In zkPHIRE the same trees also serve as the SumCheck unit's
+ * product lanes, which is where the paper's 15% multiplier saving at equal
+ * latency comes from; the chip model enforces that sharing constraint.
+ */
+#ifndef ZKPHIRE_SIM_FOREST_HPP
+#define ZKPHIRE_SIM_FOREST_HPP
+
+#include "sim/tech.hpp"
+
+namespace zkphire::sim {
+
+/** Forest configuration. */
+struct ForestConfig {
+    unsigned numTrees = 80;
+    unsigned mulsPerTree = 8;
+    bool fixedPrime = true;
+
+    double mulsPerCycle() const
+    {
+        return double(numTrees) * double(mulsPerTree);
+    }
+
+    double
+    areaMm2(const Tech &tech) const
+    {
+        return mulsPerCycle() * tech.modmul255(fixedPrime);
+    }
+};
+
+/** A forest task described by its multiply count and streamed bytes. */
+struct ForestTask {
+    double mulOps = 0;
+    double trafficBytes = 0;
+    double treeDepth = 0; ///< Log-depth tail for traversal-dependent ops.
+};
+
+/** Build-MLE (eq table) over mu variables: N muls, N words written. */
+ForestTask buildMleTask(unsigned mu);
+
+/** Product-MLE construction over leaves of size 2^mu (reads phi, writes v). */
+ForestTask productMleTask(unsigned mu);
+
+/** Evaluate num_polys committed MLEs of size 2^mu at one point each. */
+ForestTask batchEvalTask(unsigned mu, unsigned num_polys);
+
+/** Run a task on the forest at the given bandwidth; returns cycles. */
+double simulateForest(const ForestConfig &cfg, const ForestTask &task,
+                      double bandwidth_gbs, const Tech &tech = defaultTech());
+
+} // namespace zkphire::sim
+
+#endif // ZKPHIRE_SIM_FOREST_HPP

@@ -1,0 +1,22 @@
+#include "sim/mle_combine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zkphire::sim {
+
+double
+simulateMleCombine(const MleCombineConfig &cfg, unsigned mu,
+                   unsigned num_polys, double bandwidth_gbs, const Tech &tech)
+{
+    const double n = std::pow(2.0, double(mu));
+    const double muls = n * double(num_polys);
+    const double compute = muls / double(cfg.numLanes()) + tech.modmulLatency;
+    // Read every input once, write the combined result.
+    const double traffic = (double(num_polys) + 1.0) * n * Tech::frBytes;
+    const double bytes_per_cycle = bandwidth_gbs / tech.clockGhz;
+    const double mem = bytes_per_cycle > 0 ? traffic / bytes_per_cycle : 0.0;
+    return std::max(compute, mem);
+}
+
+} // namespace zkphire::sim

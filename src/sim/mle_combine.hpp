@@ -1,0 +1,39 @@
+/**
+ * @file
+ * MLE Combine module model (paper §IV-B4): element-wise operations and dot
+ * products over up to 6 streamed MLE buffers, used before and after the
+ * OpenCheck in Polynomial Opening (e.g. forming g = Sum_i rho^i f_i).
+ */
+#ifndef ZKPHIRE_SIM_MLE_COMBINE_HPP
+#define ZKPHIRE_SIM_MLE_COMBINE_HPP
+
+#include "sim/tech.hpp"
+
+namespace zkphire::sim {
+
+/** MLE Combine configuration. */
+struct MleCombineConfig {
+    unsigned numBuffers = 6;    ///< Local SRAM stream buffers (paper Fig 4).
+    unsigned mulsPerBuffer = 8; ///< Fully-pipelined MAC depth per stream.
+    bool fixedPrime = true;
+
+    unsigned numLanes() const { return numBuffers * mulsPerBuffer; }
+
+    double
+    areaMm2(const Tech &tech) const
+    {
+        return double(numLanes()) * tech.modmul255(fixedPrime);
+    }
+};
+
+/**
+ * Combine num_polys MLEs of size 2^mu into one (one mul-add per element per
+ * input polynomial); returns cycles at the given bandwidth.
+ */
+double simulateMleCombine(const MleCombineConfig &cfg, unsigned mu,
+                          unsigned num_polys, double bandwidth_gbs,
+                          const Tech &tech = defaultTech());
+
+} // namespace zkphire::sim
+
+#endif // ZKPHIRE_SIM_MLE_COMBINE_HPP

@@ -1,0 +1,55 @@
+#include "sim/msm_unit.hpp"
+
+#include <cmath>
+
+namespace zkphire::sim {
+
+MsmRunResult
+simulateMsm(const MsmUnitConfig &cfg, const MsmWorkload &wl,
+            double bandwidth_gbs, const Tech &tech)
+{
+    MsmRunResult res;
+    if (wl.numPoints <= 0)
+        return res;
+
+    const double scalar_bits = 255.0;
+    const double windows = std::ceil(scalar_bits / double(cfg.windowBits));
+    const double buckets = double((std::size_t(1) << cfg.windowBits) - 1);
+
+    // Bucket phase: dense scalars touch one bucket per window; one-scalars
+    // take a single accumulation; zeros are skipped.
+    const double dense_adds = wl.numPoints * wl.fracDense() * windows;
+    const double one_adds = wl.numPoints * wl.fracOne;
+    // Aggregation: per PE and window, a suffix-sum over the buckets
+    // (2 adds per bucket), then window combining with c doublings each.
+    const double agg_adds =
+        double(cfg.numPEs) * windows * 2.0 * buckets;
+    const double combine_ops = windows * double(cfg.windowBits) +
+                               windows; // doublings + window sums
+    res.pointAdds = dense_adds + one_adds + agg_adds + combine_ops;
+
+    // One PADD issue per cycle per PE; aggregation is also PADD-bound.
+    const double compute_cycles =
+        (dense_adds + one_adds) / double(cfg.numPEs) +
+        windows * 2.0 * buckets + combine_ops + tech.paddLatency;
+
+    // Traffic: points fetched for nonzero scalars; scalars streamed with
+    // sparse encoding (1 bit for 0/1 entries + dense payloads).
+    const double point_bytes =
+        wl.numPoints * (1.0 - wl.fracZero) * Tech::pointBytes;
+    const double scalar_bytes =
+        wl.numPoints * ((wl.fracZero + wl.fracOne) / 8.0 +
+                        wl.fracDense() * Tech::frBytes);
+    res.trafficBytes = point_bytes + scalar_bytes;
+
+    // Double-buffered point fetch overlaps with compute; MSMs have high
+    // reuse and low bandwidth pressure (paper §IV-A), so the bound is the
+    // max of the two.
+    const double bytes_per_cycle = bandwidth_gbs / tech.clockGhz;
+    const double mem_cycles =
+        bytes_per_cycle > 0 ? res.trafficBytes / bytes_per_cycle : 0.0;
+    res.cycles = std::max(compute_cycles, mem_cycles);
+    return res;
+}
+
+} // namespace zkphire::sim

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * MSM unit performance model (Pippenger bucket method, paper §IV-B3; same
+ * architecture as zkSpeed's MSM unit).
+ *
+ * Each PE is a fully-pipelined PADD datapath streaming points into
+ * 2^window - 1 buckets per scalar window. Sparse MSMs (witness commitments,
+ * where ~90% of scalars are 0/1) skip zero scalars entirely and fast-path
+ * one scalars with a single accumulation, exactly like the functional
+ * kernel in src/ec/msm.cpp. Aggregation runs the standard suffix-sum over
+ * buckets plus window-combining doublings.
+ */
+#ifndef ZKPHIRE_SIM_MSM_UNIT_HPP
+#define ZKPHIRE_SIM_MSM_UNIT_HPP
+
+#include "sim/tech.hpp"
+
+namespace zkphire::sim {
+
+/** MSM unit configuration (Table III knobs). */
+struct MsmUnitConfig {
+    unsigned numPEs = 32;
+    unsigned windowBits = 9;
+    std::size_t pointsPerPe = 16 * 1024; ///< On-chip point buffer per PE.
+    bool fixedPrime = true;
+
+    double
+    areaMm2(const Tech &tech) const
+    {
+        const double padd =
+            double(tech.paddModmuls) * tech.modmul381(fixedPrime);
+        return double(numPEs) * padd;
+    }
+
+    /** Bucket + point-buffer SRAM (3 Jacobian coords per bucket). */
+    double
+    sramMB() const
+    {
+        const double buckets = double(numPEs) *
+                               double((std::size_t(1) << windowBits) - 1) *
+                               3.0 * 48.0;
+        const double points =
+            double(numPEs) * double(pointsPerPe) * Tech::pointBytes;
+        return (buckets + points) / (1024.0 * 1024.0);
+    }
+};
+
+/** Scalar statistics of one MSM workload. */
+struct MsmWorkload {
+    double numPoints = 0;
+    double fracZero = 0.0; ///< Scalars equal to 0 (skipped).
+    double fracOne = 0.0;  ///< Scalars equal to 1 (single accumulate).
+
+    /** Dense (full 255-bit) scalar fraction. */
+    double fracDense() const { return 1.0 - fracZero - fracOne; }
+
+    /** The paper's witness statistics: ~90% of entries in {0,1}. */
+    static MsmWorkload
+    sparse(double num_points)
+    {
+        return MsmWorkload{num_points, 0.60, 0.30};
+    }
+    static MsmWorkload
+    dense(double num_points)
+    {
+        return MsmWorkload{num_points, 0.0, 0.0};
+    }
+};
+
+/** Simulation outcome. */
+struct MsmRunResult {
+    double cycles = 0;
+    double trafficBytes = 0;
+    double pointAdds = 0;
+
+    double timeMs(const Tech &tech = defaultTech()) const
+    {
+        return cycles / (tech.clockGhz * 1e6);
+    }
+};
+
+/** Run the analytical MSM model. */
+MsmRunResult simulateMsm(const MsmUnitConfig &cfg, const MsmWorkload &wl,
+                         double bandwidth_gbs,
+                         const Tech &tech = defaultTech());
+
+} // namespace zkphire::sim
+
+#endif // ZKPHIRE_SIM_MSM_UNIT_HPP

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Permutation Quotient Generator model (paper §IV-B5, Fig. 5).
+ *
+ * A pipelined unit producing the Numerator, Denominator, and Fraction MLEs
+ * simultaneously, one element per cycle per PE after warmup. The fraction
+ * requires one modular inversion per element; zkPHIRE batches inversions
+ * with batch size 2 using two shared multipliers and enough round-robin
+ * inverse units (266) to initiate one inversion every two cycles without
+ * backpressure. The zkSpeed alternative (batch 64, dedicated per-inverse
+ * multipliers) is modeled for the 4.2x-area ablation.
+ */
+#ifndef ZKPHIRE_SIM_PERMQ_HPP
+#define ZKPHIRE_SIM_PERMQ_HPP
+
+#include "sim/tech.hpp"
+
+namespace zkphire::sim {
+
+/** Inversion strategy for the phi pipeline. */
+enum class InversionScheme {
+    ZkPhireBatch2,  ///< Batch 2, two shared muls, 266 round-robin inverters.
+    ZkSpeedBatch64, ///< Batch 64, dedicated multiplier per inverse unit.
+};
+
+/** Configuration (FracMLE PEs is a Table III DSE knob). */
+struct PermQConfig {
+    unsigned numPEs = 4;       ///< FracMLE PEs (one witness column each).
+    bool fixedPrime = true;
+    InversionScheme scheme = InversionScheme::ZkPhireBatch2;
+
+    unsigned
+    numInverseUnits() const
+    {
+        return scheme == InversionScheme::ZkPhireBatch2 ? 266u : 64u;
+    }
+
+    double areaMm2(const Tech &tech) const;
+};
+
+/** Outcome of generating N/D/phi for k witness columns of size 2^mu. */
+struct PermQRunResult {
+    double cycles = 0;
+    double trafficBytes = 0;
+
+    double timeMs(const Tech &tech = defaultTech()) const
+    {
+        return cycles / (tech.clockGhz * 1e6);
+    }
+};
+
+/**
+ * Simulate N/D/phi generation for num_witness columns over 2^mu rows.
+ * Columns beyond numPEs are handled by cyclic PE reuse (paper §IV-B5).
+ */
+PermQRunResult simulatePermQ(const PermQConfig &cfg, unsigned mu,
+                             unsigned num_witness, double bandwidth_gbs,
+                             const Tech &tech = defaultTech());
+
+} // namespace zkphire::sim
+
+#endif // ZKPHIRE_SIM_PERMQ_HPP

@@ -1,0 +1,105 @@
+#include "sim/program.hpp"
+
+#include <sstream>
+
+namespace zkphire::sim {
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream os;
+    switch (op) {
+      case Opcode::Prefetch:
+        os << "PREFETCH banks={";
+        for (std::size_t i = 0; i < slots.size(); ++i)
+            os << (i ? "," : "") << slots[i];
+        os << "}";
+        break;
+      case Opcode::Exec:
+        os << "EXEC     term=" << term << " ee={";
+        for (std::size_t i = 0; i < slots.size(); ++i)
+            os << (i ? "," : "") << slots[i];
+        os << "} K=" << unsigned(extensions)
+           << " II=" << unsigned(initiationInterval)
+           << (useTmp ? " +tmpIn" : "") << (writeTmp ? " ->tmp" : "->acc");
+        break;
+      case Opcode::Hash:
+        os << "HASH     squeeze round challenge";
+        break;
+      case Opcode::Update:
+        os << "UPDATE   fold resident tables";
+        break;
+      case Opcode::WriteBack:
+        os << "WRITEBK  drain updated tables";
+        break;
+      case Opcode::Halt:
+        os << "HALT";
+        break;
+    }
+    return os.str();
+}
+
+std::string
+SumcheckProgram::disassemble() const
+{
+    std::ostringstream os;
+    os << "; SumCheck unit program (" << numEEs << " EEs, " << numPLs
+       << " PLs), " << code.size() << " instructions, " << sizeBytes()
+       << " B control store\n";
+    for (std::size_t i = 0; i < code.size(); ++i)
+        os << i << ":\t" << code[i].toString() << "\n";
+    return os.str();
+}
+
+std::size_t
+SumcheckProgram::sizeBytes() const
+{
+    std::size_t bytes = 0;
+    for (const Instruction &insn : code)
+        bytes += 8 + insn.slots.size(); // packed word + slot ids
+    return bytes;
+}
+
+std::size_t
+SumcheckProgram::numExecOps() const
+{
+    std::size_t n = 0;
+    for (const Instruction &insn : code)
+        if (insn.op == Opcode::Exec)
+            ++n;
+    return n;
+}
+
+SumcheckProgram
+compileProgram(const PolyShape &shape, const Schedule &sched)
+{
+    SumcheckProgram prog;
+    prog.numEEs = sched.numEEs;
+    prog.numPLs = sched.numPLs;
+    for (const ScheduleNode &node : sched.nodes) {
+        if (!node.freshFetches.empty()) {
+            Instruction pf;
+            pf.op = Opcode::Prefetch;
+            pf.slots = node.freshFetches;
+            prog.code.push_back(std::move(pf));
+        }
+        Instruction ex;
+        ex.op = Opcode::Exec;
+        ex.term = node.term;
+        ex.slots = node.occurrences;
+        ex.useTmp = node.usesTmpIn || node.treeCombine;
+        ex.writeTmp = node.writesTmpOut;
+        std::size_t k = shape.termDegree(node.term) + 1;
+        ex.extensions = std::uint8_t(k);
+        ex.initiationInterval = std::uint8_t(
+            Schedule::initiationInterval(k, sched.numPLs));
+        prog.code.push_back(std::move(ex));
+    }
+    prog.code.push_back(Instruction{Opcode::Hash});
+    prog.code.push_back(Instruction{Opcode::Update});
+    prog.code.push_back(Instruction{Opcode::WriteBack});
+    prog.code.push_back(Instruction{Opcode::Halt});
+    return prog;
+}
+
+} // namespace zkphire::sim

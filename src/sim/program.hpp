@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Instruction stream for the programmable SumCheck unit (paper §III-E):
+ * "the scheduler generates a list of computational steps, including
+ * MLE-to-EE mappings, prefetch ordering, and schedules for specific (K, P)
+ * settings... annotated with signals for control registers, address
+ * offsets, and FSM configuration. They are then loaded into on-chip
+ * controllers as instructions."
+ *
+ * compileProgram lowers a Schedule into that controller-facing form: one
+ * PREFETCH/EXEC pair per node plus the per-round bookkeeping ops. The
+ * disassembly is human-readable and stable, so tests can lock the ISA
+ * down; sizeBytes() estimates the control-store footprint.
+ */
+#ifndef ZKPHIRE_SIM_PROGRAM_HPP
+#define ZKPHIRE_SIM_PROGRAM_HPP
+
+#include <string>
+#include <vector>
+
+#include "sim/sumcheck_sched.hpp"
+
+namespace zkphire::sim {
+
+/** Controller opcodes. */
+enum class Opcode : std::uint8_t {
+    Prefetch,  ///< Bring tiles of listed slots into scratchpad banks.
+    Exec,      ///< Run one schedule node: EE mapping + PL routing.
+    Hash,      ///< Squeeze the round challenge from the SHA3 unit.
+    Update,    ///< Fold all resident tables with the round challenge.
+    WriteBack, ///< Drain updated tables to off-chip FIFOs.
+    Halt,
+};
+
+/** One instruction word. */
+struct Instruction {
+    Opcode op = Opcode::Halt;
+    std::uint32_t term = 0;       ///< Exec: term id.
+    std::vector<std::uint32_t> slots; ///< Exec: EE slot mapping; Prefetch:
+                                      ///< banks to fill.
+    std::uint8_t useTmp = 0;      ///< Exec: multiply Tmp into products.
+    std::uint8_t writeTmp = 0;    ///< Exec: route products to Tmp buffer.
+    std::uint8_t initiationInterval = 1; ///< Exec: PL II for this node.
+    std::uint8_t extensions = 0;  ///< Exec: K evaluation points.
+
+    std::string toString() const;
+};
+
+/** A compiled SumCheck program. */
+struct SumcheckProgram {
+    std::vector<Instruction> code;
+    unsigned numEEs = 0;
+    unsigned numPLs = 0;
+
+    /** Human-readable listing. */
+    std::string disassemble() const;
+
+    /** Control-store footprint: opcode + flags + slot list entries. */
+    std::size_t sizeBytes() const;
+
+    /** Number of Exec instructions (== schedule nodes). */
+    std::size_t numExecOps() const;
+};
+
+/**
+ * Lower a schedule to instructions. Emits, in order: per node a Prefetch
+ * (when the node first touches slots) and an Exec; then Hash, Update,
+ * WriteBack, and a trailing Halt — the per-round loop body the FSM
+ * repeats with halved address ranges.
+ */
+SumcheckProgram compileProgram(const PolyShape &shape,
+                               const Schedule &sched);
+
+} // namespace zkphire::sim
+
+#endif // ZKPHIRE_SIM_PROGRAM_HPP

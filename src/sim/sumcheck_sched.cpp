@@ -1,0 +1,192 @@
+#include "sim/sumcheck_sched.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace zkphire::sim {
+
+PolyShape
+PolyShape::fromGate(const gates::Gate &gate)
+{
+    return fromExpr(gate.expr, gate.roles);
+}
+
+PolyShape
+PolyShape::fromExpr(const poly::GateExpr &expr,
+                    std::vector<gates::SlotRole> roles_in)
+{
+    PolyShape shape;
+    shape.numSlots = unsigned(expr.numSlots());
+    shape.roles = std::move(roles_in);
+    assert(shape.roles.size() == shape.numSlots);
+    for (const poly::Term &t : expr.terms()) {
+        if (t.factors.empty())
+            continue; // pure-constant terms need no datapath work
+        shape.terms.emplace_back(t.factors.begin(), t.factors.end());
+    }
+    return shape;
+}
+
+std::size_t
+PolyShape::degree() const
+{
+    std::size_t d = 0;
+    for (const auto &t : terms)
+        d = std::max(d, t.size());
+    return d;
+}
+
+std::vector<std::uint32_t>
+PolyShape::uniqueSlots() const
+{
+    std::set<std::uint32_t> uniq;
+    for (const auto &t : terms)
+        uniq.insert(t.begin(), t.end());
+    return {uniq.begin(), uniq.end()};
+}
+
+double
+PolyShape::encodedBytes(std::uint32_t slot) const
+{
+    assert(slot < roles.size());
+    switch (roles[slot]) {
+      case gates::SlotRole::Selector:
+        // Binary enable MLEs are stored as a bitstream (paper §IV-B1).
+        return 1.0 / 8.0;
+      case gates::SlotRole::Witness: {
+        // ~90% of entries in {0,1} as single bits; dense entries carry the
+        // 255-bit payload plus per-tile offset-buffer metadata.
+        const double dense = 0.10;
+        return (1.0 - dense) * (1.0 / 8.0) + dense * (32.0 + 2.0);
+      }
+      case gates::SlotRole::Dense:
+        return 32.0;
+    }
+    return 32.0;
+}
+
+PolyShape
+PolyShape::withoutSlot(std::uint32_t slot) const
+{
+    PolyShape out = *this;
+    for (auto &t : out.terms)
+        t.erase(std::remove(t.begin(), t.end(), slot), t.end());
+    // Slot ids keep their numbering so roles stay aligned; the slot simply
+    // becomes unreferenced.
+    return out;
+}
+
+std::size_t
+nodeCountForTerm(std::size_t m, unsigned num_ees)
+{
+    assert(num_ees >= 2 && "a PE needs at least two extension engines");
+    if (m == 0)
+        return 0;
+    if (m <= num_ees)
+        return 1;
+    const std::size_t rest = m - num_ees;
+    const std::size_t per_node = num_ees - 1;
+    return 1 + (rest + per_node - 1) / per_node;
+}
+
+namespace {
+
+/** Track first-use of slots across the whole schedule (tile reuse). */
+class FetchTracker
+{
+  public:
+    std::vector<std::uint32_t>
+    freshOf(const std::vector<std::uint32_t> &occurrences)
+    {
+        std::vector<std::uint32_t> fresh;
+        for (std::uint32_t s : occurrences)
+            if (seen.insert(s).second)
+                fresh.push_back(s);
+        return fresh;
+    }
+
+  private:
+    std::set<std::uint32_t> seen;
+};
+
+} // namespace
+
+Schedule
+buildSchedule(const PolyShape &shape, unsigned num_ees, unsigned num_pls,
+              ScheduleKind kind)
+{
+    assert(num_ees >= 2);
+    Schedule sched;
+    sched.numEEs = num_ees;
+    sched.numPLs = num_pls;
+    sched.kind = kind;
+    FetchTracker fetches;
+
+    std::size_t max_tmp = 0;
+    for (std::size_t t = 0; t < shape.terms.size(); ++t) {
+        const auto &factors = shape.terms[t];
+        if (factors.empty())
+            continue;
+        if (kind == ScheduleKind::Accumulation) {
+            // First node takes up to E occurrences; continuation nodes
+            // reserve one EE slot for the Tmp partial product.
+            std::size_t pos = 0;
+            bool first = true;
+            while (pos < factors.size()) {
+                std::size_t take = first ? num_ees : num_ees - 1;
+                take = std::min(take, factors.size() - pos);
+                ScheduleNode node;
+                node.term = std::uint32_t(t);
+                node.occurrences.assign(factors.begin() + pos,
+                                        factors.begin() + pos + take);
+                node.usesTmpIn = !first;
+                pos += take;
+                node.writesTmpOut = pos < factors.size();
+                node.freshFetches = fetches.freshOf(node.occurrences);
+                sched.nodes.push_back(std::move(node));
+                first = false;
+            }
+            if (factors.size() > num_ees)
+                max_tmp = std::max<std::size_t>(max_tmp, 1);
+        } else {
+            // Balanced tree: independent leaf nodes of up to E occurrences,
+            // then pairwise combine steps. Peak live intermediates grows
+            // logarithmically with the leaf count.
+            std::size_t leaves = 0;
+            for (std::size_t pos = 0; pos < factors.size();
+                 pos += num_ees, ++leaves) {
+                std::size_t take =
+                    std::min<std::size_t>(num_ees, factors.size() - pos);
+                ScheduleNode node;
+                node.term = std::uint32_t(t);
+                node.occurrences.assign(factors.begin() + pos,
+                                        factors.begin() + pos + take);
+                node.writesTmpOut = factors.size() > num_ees;
+                node.freshFetches = fetches.freshOf(node.occurrences);
+                sched.nodes.push_back(std::move(node));
+            }
+            for (std::size_t c = 0; c + 1 < leaves; ++c) {
+                ScheduleNode combine;
+                combine.term = std::uint32_t(t);
+                combine.treeCombine = true;
+                combine.usesTmpIn = true;
+                combine.writesTmpOut = c + 2 < leaves;
+                sched.nodes.push_back(std::move(combine));
+            }
+            if (leaves > 1) {
+                std::size_t live = 1;
+                std::size_t l = leaves;
+                while (l > 1) {
+                    l = (l + 1) / 2;
+                    ++live;
+                }
+                max_tmp = std::max(max_tmp, live);
+            }
+        }
+    }
+    sched.tmpBuffers = max_tmp;
+    return sched;
+}
+
+} // namespace zkphire::sim

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The programmable SumCheck unit's scheduler (paper §III-C/D/E, Fig. 2).
+ *
+ * A composite polynomial is decomposed term-by-term into schedule nodes.
+ * Each node occupies the PE's Extension Engines with at most E factor
+ * occurrences; terms wider than E continue across nodes through the Tmp MLE
+ * buffer, which occupies one input slot of every continuation node (so the
+ * first node covers E occurrences and each later node E-1 — reproducing the
+ * runtime staircase of Fig. 8). The accumulation-chain schedule needs one
+ * Tmp buffer regardless of degree; the balanced-tree alternative (left side
+ * of Fig. 2) is also implemented for the ablation study, with its
+ * logarithmically growing buffer demand.
+ *
+ * Extension-to-Product-Lane mapping (Fig. 3): a term needing K extension
+ * evaluations on P lanes runs at initiation interval II = ceil(K / P).
+ */
+#ifndef ZKPHIRE_SIM_SUMCHECK_SCHED_HPP
+#define ZKPHIRE_SIM_SUMCHECK_SCHED_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "gates/gate_library.hpp"
+#include "poly/gate_expr.hpp"
+#include "poly/mle.hpp"
+
+namespace zkphire::sim {
+
+/** Per-slot sparsity statistics used by the traffic model. */
+struct SlotTraffic {
+    double fracZero = 0.0;
+    double fracOne = 0.0;
+};
+
+/**
+ * Structural description of a composite polynomial — all the hardware
+ * model needs (no field data).
+ */
+struct PolyShape {
+    unsigned numSlots = 0;
+    /** Each term as its factor slot list (repeats = powers). */
+    std::vector<std::vector<std::uint32_t>> terms;
+    /** Storage class per slot (drives sparse encodings). */
+    std::vector<gates::SlotRole> roles;
+
+    /** Extract the shape from a gate-library entry. */
+    static PolyShape fromGate(const gates::Gate &gate);
+
+    /** Extract from a raw expression with explicit roles. */
+    static PolyShape fromExpr(const poly::GateExpr &expr,
+                              std::vector<gates::SlotRole> roles);
+
+    std::size_t degree() const;
+    std::size_t termDegree(std::size_t t) const { return terms[t].size(); }
+    std::size_t numTerms() const { return terms.size(); }
+    /** Distinct slots referenced anywhere. */
+    std::vector<std::uint32_t> uniqueSlots() const;
+
+    /** Effective bytes per table element for a slot (sparse encodings). */
+    double encodedBytes(std::uint32_t slot) const;
+
+    /** A copy with one slot removed from every term and the slot list. */
+    PolyShape withoutSlot(std::uint32_t slot) const;
+};
+
+/** One schedule step: which factor occurrences one PE pass handles. */
+struct ScheduleNode {
+    std::uint32_t term = 0;
+    /** Factor occurrences processed (slot ids, repeats possible). */
+    std::vector<std::uint32_t> occurrences;
+    bool usesTmpIn = false;   ///< Consumes the accumulated partial product.
+    bool writesTmpOut = false;///< More nodes of this term follow.
+    bool treeCombine = false; ///< Balanced-tree internal combine step.
+    /** Slots whose tiles are first fetched for this node (prefetch set). */
+    std::vector<std::uint32_t> freshFetches;
+};
+
+enum class ScheduleKind {
+    Accumulation, ///< zkPHIRE's chain schedule (Fig. 2 right).
+    BalancedTree, ///< Binary-tree schedule (Fig. 2 left), for ablation.
+};
+
+/** A complete schedule for one polynomial on one (E, P) configuration. */
+struct Schedule {
+    std::vector<ScheduleNode> nodes;
+    unsigned numEEs = 0;
+    unsigned numPLs = 0;
+    ScheduleKind kind = ScheduleKind::Accumulation;
+    /** Peak number of live temporary MLE buffers. */
+    std::size_t tmpBuffers = 0;
+
+    /** Initiation interval for a term needing K extension evaluations. */
+    static unsigned
+    initiationInterval(std::size_t k, unsigned num_pls)
+    {
+        if (num_pls == 0)
+            return unsigned(k);
+        return unsigned((k + num_pls - 1) / num_pls);
+    }
+};
+
+/**
+ * Number of schedule nodes a term with m factor occurrences needs on E
+ * extension engines: 1 if m <= E, else 1 + ceil((m - E) / (E - 1))
+ * (the Fig. 8 staircase).
+ */
+std::size_t nodeCountForTerm(std::size_t m, unsigned num_ees);
+
+/** Build the schedule for a polynomial shape. */
+Schedule buildSchedule(const PolyShape &shape, unsigned num_ees,
+                       unsigned num_pls,
+                       ScheduleKind kind = ScheduleKind::Accumulation);
+
+} // namespace zkphire::sim
+
+#endif // ZKPHIRE_SIM_SUMCHECK_SCHED_HPP

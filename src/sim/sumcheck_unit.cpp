@@ -1,0 +1,209 @@
+#include "sim/sumcheck_unit.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace zkphire::sim {
+
+double
+SumcheckUnitConfig::computeAreaMm2(const Tech &tech,
+                                   bool include_pl_muls) const
+{
+    const double mul = tech.modmul255(fixedPrime);
+    double muls_per_pe;
+    if (fullyUnrolled && unrolledMulsPerPe > 0) {
+        muls_per_pe = double(unrolledMulsPerPe);
+    } else {
+        muls_per_pe = double(updateMulsPerPe());
+        if (include_pl_muls)
+            muls_per_pe += double(plMulsPerPe());
+    }
+    // Extension engines are adder chains; charge ~15% of a multiplier each.
+    const double ee_area = double(numEEs) * 0.15 * mul;
+    return double(numPEs) * (muls_per_pe * mul + ee_area);
+}
+
+double
+SumcheckUnitConfig::areaMm2(const Tech &tech, bool include_pl_muls) const
+{
+    return computeAreaMm2(tech, include_pl_muls) +
+           sramMB() * tech.sramMm2PerMB;
+}
+
+namespace {
+
+struct RoundSchedule {
+    Schedule sched;
+    std::vector<std::size_t> termK; // extension count per term (original)
+};
+
+double
+ceilDiv(double a, double b)
+{
+    return std::ceil(a / b);
+}
+
+} // namespace
+
+SumcheckRunResult
+simulateSumcheck(const SumcheckUnitConfig &cfg, const SumcheckWorkload &wl,
+                 double bandwidth_gbs, const Tech &tech)
+{
+    assert(wl.numVars >= 1);
+    const unsigned mu = wl.numVars;
+    const bool fused = wl.fusedFrSlot >= 0;
+    const double n = std::pow(2.0, double(mu));
+    const double bytes_per_cycle = bandwidth_gbs / tech.clockGhz;
+
+    // Extension counts per term come from the ORIGINAL term degrees
+    // (including f_r when present), independent of node decomposition.
+    std::vector<std::size_t> term_k(wl.shape.numTerms());
+    for (std::size_t t = 0; t < wl.shape.numTerms(); ++t)
+        term_k[t] = wl.shape.termDegree(t) + 1;
+
+    // Round-1 schedule: with f_r fused, one EE and one PL are reserved for
+    // the Build-MLE lane (paper §III-F) and f_r is not fetched.
+    const unsigned e1 = fused ? std::max(2u, cfg.numEEs - 1) : cfg.numEEs;
+    const unsigned p1 = fused ? std::max(1u, cfg.numPLs - 1) : cfg.numPLs;
+    PolyShape shape1 = fused
+                           ? wl.shape.withoutSlot(std::uint32_t(wl.fusedFrSlot))
+                           : wl.shape;
+    Schedule sched1 = buildSchedule(shape1, e1, p1, cfg.scheduleKind);
+    Schedule sched_rest =
+        buildSchedule(wl.shape, cfg.numEEs, cfg.numPLs, cfg.scheduleKind);
+
+    const std::size_t slots1 = shape1.uniqueSlots().size();
+    const std::size_t slots_rest = wl.shape.uniqueSlots().size();
+
+    const double total_muls_per_cycle =
+        (cfg.fullyUnrolled && cfg.unrolledMulsPerPe > 0)
+            ? double(cfg.numPEs) * double(cfg.unrolledMulsPerPe)
+            : double(cfg.numPEs) *
+                  double(cfg.plMulsPerPe() + cfg.updateMulsPerPe());
+
+    SumcheckRunResult res;
+    res.residentFromRound = mu + 1;
+    bool resident = false;
+    const double round_overhead = 2.0 * tech.sha3Latency +
+                                  4.0 * tech.modmulLatency;
+
+    for (unsigned r = 1; r <= mu; ++r) {
+        const bool first = r == 1;
+        const Schedule &sched = first ? sched1 : sched_rest;
+        const unsigned p_eff = first ? p1 : cfg.numPLs;
+        // pairs(1) = 2^(mu-1); round r >= 2 extends the freshly-updated
+        // table of length 2^(mu-r+1), i.e. 2^(mu-r) pairs.
+        const double pairs =
+            first ? n / 2.0 : std::pow(2.0, double(mu - r));
+        // Input table length read this round (before update).
+        const double read_len = first ? n : pairs * 4.0;
+        const std::size_t num_slots = first ? slots1 : slots_rest;
+
+        // ---- compute -------------------------------------------------
+        double node_cycles = 0;
+        double pl_mul_ops = 0;
+        const double pe_pairs = ceilDiv(pairs, double(cfg.numPEs));
+        if (cfg.fullyUnrolled)
+            node_cycles = pe_pairs; // one pair/PE/cycle, all terms parallel
+        for (const ScheduleNode &node : sched.nodes) {
+            const std::size_t k = term_k[node.term];
+            const unsigned ii = Schedule::initiationInterval(k, p_eff);
+            if (!cfg.fullyUnrolled)
+                node_cycles += pe_pairs * double(ii);
+            double factors_in_product =
+                double(node.occurrences.size()) + (node.usesTmpIn ? 1 : 0) +
+                (node.treeCombine ? 2 : 0);
+            if (first && fused && !node.writesTmpOut)
+                factors_in_product += 1.0; // multiply f_r into the term
+            if (factors_in_product >= 2.0)
+                pl_mul_ops +=
+                    pairs * double(k) * (factors_in_product - 1.0);
+        }
+        double update_elems = 0;
+        double update_cycles = 0;
+        if (!first) {
+            update_elems = double(num_slots) * pairs * 2.0;
+            update_cycles = update_elems /
+                            (double(cfg.numPEs) *
+                             double(cfg.updateMulsPerPe()));
+        }
+        if (cfg.plCapacityScale > 0 && cfg.plCapacityScale < 1.0)
+            node_cycles /= cfg.plCapacityScale;
+        double compute = cfg.fuseUpdates
+                             ? std::max(node_cycles, update_cycles)
+                             : node_cycles + update_cycles;
+        // Build-MLE lane muls for the fused f_r construction in round 1.
+        double build_muls = (first && fused) ? n : 0.0;
+
+        // Per-tile fill/drain.
+        if (!resident && !cfg.globalScratchpad) {
+            const double tiles =
+                ceilDiv(read_len, double(cfg.bankWords));
+            compute += tiles * double(tech.tileFillOverhead);
+        }
+
+        // ---- memory ----------------------------------------------------
+        double read_bytes = 0, write_bytes = 0;
+        if (cfg.globalScratchpad) {
+            if (first)
+                for (std::uint32_t s : wl.shape.uniqueSlots())
+                    if (!(fused && int(s) == wl.fusedFrSlot))
+                        read_bytes += n * wl.shape.encodedBytes(s);
+        } else if (!resident) {
+            if (first) {
+                for (std::uint32_t s : shape1.uniqueSlots())
+                    read_bytes += n * shape1.encodedBytes(s);
+                if (fused)
+                    write_bytes += n * Tech::frBytes; // store built f_r
+            } else if (r == 2) {
+                // Re-read the originals (sparse encodings), update, write
+                // the halved dense tables.
+                for (std::uint32_t s : wl.shape.uniqueSlots()) {
+                    double enc = (fused && int(s) == wl.fusedFrSlot)
+                                     ? Tech::frBytes
+                                     : wl.shape.encodedBytes(s);
+                    read_bytes += n * enc;
+                }
+            } else {
+                read_bytes +=
+                    double(slots_rest) * read_len * Tech::frBytes;
+            }
+            // Residency cutover: the UPDATED tables (length 2*pairs for
+            // r>=2) may fit on chip, eliminating this round's writeback and
+            // all later traffic.
+            if (!first) {
+                const double next_len = pairs * 2.0;
+                const bool fits =
+                    next_len <= double(cfg.bankWords) &&
+                    slots_rest <= cfg.numBuffers;
+                if (fits) {
+                    resident = true;
+                    if (res.residentFromRound > mu)
+                        res.residentFromRound = r;
+                } else {
+                    write_bytes +=
+                        double(slots_rest) * next_len * Tech::frBytes;
+                }
+            }
+        }
+        const double mem_cycles =
+            bytes_per_cycle > 0 ? (read_bytes + write_bytes) / bytes_per_cycle
+                                : 0.0;
+
+        res.computeCycles += compute;
+        res.memCycles += mem_cycles;
+        res.trafficBytes += read_bytes + write_bytes;
+        res.usefulMulOps += pl_mul_ops + update_elems + build_muls;
+        res.cycles += std::max(compute, mem_cycles) + round_overhead;
+        res.trace.push_back(RoundTrace{r, compute, mem_cycles, read_bytes,
+                                       write_bytes, resident});
+    }
+
+    res.utilization =
+        res.cycles > 0 ? res.usefulMulOps / (total_muls_per_cycle * res.cycles)
+                       : 0.0;
+    return res;
+}
+
+} // namespace zkphire::sim

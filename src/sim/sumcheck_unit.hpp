@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Cycle-level performance model of the programmable SumCheck unit
+ * (paper §III, Fig. 3).
+ *
+ * Per SumCheck round, the model walks the scheduler's node list and charges
+ *   - compute: ceil(pairs / numPEs) * II(K_term, P) cycles per node, where
+ *     K is the term's extension count and II the lane initiation interval,
+ *     plus fused MLE-update throughput, per-tile fill/drain, and the SHA3
+ *     challenge latency per round;
+ *   - memory: sparsity-encoded reads of every referenced tile (round 1 and
+ *     the round-2 re-read of the originals), dense reads of updated tables
+ *     thereafter, and FIFO writebacks of halved tables until the working
+ *     set fits in the local scratchpads (residency cutover);
+ * and takes the max (compute/memory overlap), exactly the methodology the
+ * paper describes in §V. Modmul utilization is tracked for Fig. 6.
+ *
+ * Baseline variants: fuseUpdates=false models zkSpeed (separate update
+ * pass); globalScratchpad=true models zkSpeed's resident-MLE organization
+ * (one initial load, no per-round off-chip traffic).
+ */
+#ifndef ZKPHIRE_SIM_SUMCHECK_UNIT_HPP
+#define ZKPHIRE_SIM_SUMCHECK_UNIT_HPP
+
+#include "sim/sumcheck_sched.hpp"
+#include "sim/tech.hpp"
+
+namespace zkphire::sim {
+
+/** Hardware configuration of the SumCheck unit (DSE knobs of Table III). */
+struct SumcheckUnitConfig {
+    unsigned numPEs = 16;
+    unsigned numEEs = 7;       ///< Extension engines per PE.
+    unsigned numPLs = 5;       ///< Product lanes per PE.
+    std::size_t bankWords = 1 << 12; ///< Words per MLE scratchpad buffer.
+    unsigned numBuffers = 16;  ///< MLE scratchpad buffers (paper §III-B).
+    bool fixedPrime = true;
+    bool fuseUpdates = true;       ///< Pipeline updates into extensions.
+    bool globalScratchpad = false; ///< zkSpeed-style resident MLEs.
+    /**
+     * zkSpeed-style fixed-function datapath: the whole composite
+     * polynomial is unrolled in hardware, sustaining one pair per PE per
+     * cycle regardless of term count (at the cost of a wide, single-
+     * purpose multiplier array).
+     */
+    bool fullyUnrolled = false;
+    /**
+     * Multiplier count per PE for fully-unrolled datapaths (a specialized
+     * pipeline shares extensions across terms and instantiates exactly the
+     * product/update multipliers the fixed polynomial needs). 0 = use the
+     * programmable-unit formula.
+     */
+    unsigned unrolledMulsPerPe = 0;
+    ScheduleKind scheduleKind = ScheduleKind::Accumulation;
+    /**
+     * Product-lane throughput derating when the Multifunction Forest that
+     * physically hosts the PL multipliers is undersized for this unit's
+     * demand (chip model sets this to forestMuls/plDemand, capped at 1).
+     */
+    double plCapacityScale = 1.0;
+
+    /** Modular multipliers per PE serving product lanes (tree-shaped). */
+    unsigned plMulsPerPe() const { return numPLs * (numEEs - 1); }
+    /** Update-unit multipliers per PE. */
+    unsigned updateMulsPerPe() const { return numEEs; }
+
+    /** Local scratchpad capacity in bytes. */
+    double scratchBytes() const
+    {
+        return double(numBuffers) * double(bankWords) * Tech::frBytes;
+    }
+    double sramMB() const { return scratchBytes() / (1024.0 * 1024.0); }
+
+    /**
+     * Standalone unit area (compute + local SRAM). In the full zkPHIRE
+     * chip the PL multipliers physically live in the Multifunction Forest
+     * (paper §IV-B2); pass include_pl_muls=false there to avoid double
+     * counting.
+     */
+    double areaMm2(const Tech &tech, bool include_pl_muls = true) const;
+
+    /** Compute-only area (no local SRAM), for iso-area baselines. */
+    double computeAreaMm2(const Tech &tech,
+                          bool include_pl_muls = true) const;
+};
+
+/** Workload: polynomial shape + problem size + ZeroCheck fusion. */
+struct SumcheckWorkload {
+    PolyShape shape;
+    unsigned numVars = 20;
+    /**
+     * If >= 0, this slot is the f_r masking polynomial and the unit builds
+     * it on the fly in round 1 (one EE + one PL reserved, no fetch), per
+     * paper §III-F. Rounds >= 2 treat it as a normal dense MLE.
+     */
+    int fusedFrSlot = -1;
+};
+
+/** Per-round timing trace entry. */
+struct RoundTrace {
+    unsigned round = 0;        ///< 1-based SumCheck round.
+    double computeCycles = 0;  ///< Datapath-bound cycles this round.
+    double memCycles = 0;      ///< Bandwidth-bound cycles this round.
+    double readBytes = 0;
+    double writeBytes = 0;
+    bool resident = false;     ///< Tables fully on-chip this round.
+    bool memoryBound() const { return memCycles > computeCycles; }
+};
+
+/** Simulation outcome. */
+struct SumcheckRunResult {
+    double cycles = 0;
+    double computeCycles = 0;  ///< Sum over rounds of the compute bound.
+    double memCycles = 0;      ///< Sum over rounds of the memory bound.
+    double trafficBytes = 0;   ///< Total off-chip traffic.
+    double usefulMulOps = 0;   ///< Modular multiplications performed.
+    double utilization = 0;    ///< usefulMulOps / (muls * cycles).
+    unsigned residentFromRound = 0; ///< First round fully on-chip (1-based).
+    std::vector<RoundTrace> trace;  ///< One entry per round.
+
+    double timeMs(const Tech &tech = defaultTech()) const
+    {
+        return cycles / (tech.clockGhz * 1e6);
+    }
+};
+
+/** Run the cycle model. Bandwidth in GB/s (== bytes per ns at 1 GHz). */
+SumcheckRunResult simulateSumcheck(const SumcheckUnitConfig &cfg,
+                                   const SumcheckWorkload &wl,
+                                   double bandwidth_gbs,
+                                   const Tech &tech = defaultTech());
+
+} // namespace zkphire::sim
+
+#endif // ZKPHIRE_SIM_SUMCHECK_UNIT_HPP

@@ -1,0 +1,12 @@
+#include "sim/tech.hpp"
+
+namespace zkphire::sim {
+
+const Tech &
+defaultTech()
+{
+    static const Tech tech;
+    return tech;
+}
+
+} // namespace zkphire::sim

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Technology model: unit areas, power densities, memory PHY parameters, and
+ * scaling factors.
+ *
+ * Every constant the paper states is used verbatim (§V, §VI-B): Montgomery
+ * multiplier areas from Catapult HLS + Design Compiler at TSMC 22nm
+ * (255b 0.478/0.264 mm^2 arbitrary/fixed prime, 381b 1.13/0.582 mm^2),
+ * modular inverse units at 0.027 mm^2, 3.6x area / 3.3x power scaling to
+ * 7nm, a 1 GHz clock, and 14.9 / 29.6 mm^2 HBM2/HBM3 PHYs. Per-module power
+ * densities and SRAM density are calibrated once against the paper's
+ * Table V exemplar and documented in EXPERIMENTS.md.
+ */
+#ifndef ZKPHIRE_SIM_TECH_HPP
+#define ZKPHIRE_SIM_TECH_HPP
+
+#include <cstddef>
+
+namespace zkphire::sim {
+
+/** Technology constants (areas mm^2, 7nm unless noted). */
+struct Tech {
+    // --- 22nm synthesis results (paper §V) ---
+    double modmul255Arb22nm = 0.478;
+    double modmul255Fixed22nm = 0.264;
+    double modmul381Arb22nm = 1.13;
+    double modmul381Fixed22nm = 0.582;
+    double modinv22nm = 0.027;
+
+    // --- scaling (paper §V, after [11]-[13], [65], [66]) ---
+    double areaScale22To7 = 3.6;
+    double powerScale22To7 = 3.3;
+    double clockGhz = 1.0;
+
+    // --- derived 7nm areas ---
+    double modmul255(bool fixed_prime) const
+    {
+        return (fixed_prime ? modmul255Fixed22nm : modmul255Arb22nm) /
+               areaScale22To7;
+    }
+    double modmul381(bool fixed_prime) const
+    {
+        return (fixed_prime ? modmul381Fixed22nm : modmul381Arb22nm) /
+               areaScale22To7;
+    }
+    double modinv() const { return modinv22nm / areaScale22To7; }
+
+    // --- SRAM (Synopsys 22nm memory compiler, scaled; calibrated to the
+    //     Table V exemplar: ~67 MB of buffers in 27.55 mm^2) ---
+    double sramMm2PerMB = 0.41;
+
+    // --- off-chip memory PHYs (JESD238A-class, paper §VI-B1) ---
+    double hbm2PhyMm2 = 14.9;
+    double hbm3PhyMm2 = 29.6;
+    double hbm2PhyGBs = 512.0;  ///< Bandwidth served per HBM2E PHY.
+    double hbm3PhyGBs = 1024.0; ///< Bandwidth served per HBM3 PHY.
+
+    /** PHY area needed to serve a given off-chip bandwidth (GB/s). */
+    double
+    phyAreaMm2(double bandwidth_gbs) const
+    {
+        if (bandwidth_gbs <= 0)
+            return 0.0;
+        if (bandwidth_gbs <= 2 * hbm2PhyGBs) {
+            double n = bandwidth_gbs / hbm2PhyGBs;
+            double phys = n <= 1 ? 1 : (n <= 2 ? 2 : n);
+            return phys * hbm2PhyMm2;
+        }
+        double phys = bandwidth_gbs / hbm3PhyGBs;
+        double whole = double(std::size_t(phys));
+        if (whole < phys)
+            whole += 1.0;
+        return whole * hbm3PhyMm2;
+    }
+
+    // --- average power densities (W/mm^2), calibrated to Table V ---
+    double msmPowerDensity = 0.558;
+    double forestPowerDensity = 0.845;
+    double sumcheckPowerDensity = 0.867;
+    double otherPowerDensity = 0.58;
+    double sramPowerDensity = 0.129;
+    double interconnectPowerDensity = 0.561;
+    double hbmPhyPowerDensity = 1.074;
+
+    // --- pipeline characteristics (HLS-extracted in the paper; modeled) ---
+    unsigned modmulLatency = 10;   ///< Cycles, fully pipelined (II = 1).
+    unsigned paddLatency = 60;     ///< Point-add pipeline depth.
+    unsigned sha3Latency = 26;     ///< Keccak-f rounds + I/O, per squeeze.
+    unsigned tileFillOverhead = 32;///< Scratchpad tile fill/drain cycles.
+    unsigned invLatency = 532;     ///< Modular inverse latency (266 units
+                                   ///< round-robin at one issue / 2 cycles).
+
+    /** Modular multipliers in one fully-pipelined Jacobian mixed PADD. */
+    unsigned paddModmuls = 20;
+
+    /** Bytes of one MLE element / affine G1 point in off-chip traffic. */
+    static constexpr double frBytes = 32.0;
+    static constexpr double pointBytes = 96.0;
+};
+
+/** The default technology instance shared by the models. */
+const Tech &defaultTech();
+
+} // namespace zkphire::sim
+
+#endif // ZKPHIRE_SIM_TECH_HPP

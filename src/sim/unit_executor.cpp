@@ -1,0 +1,176 @@
+#include "sim/unit_executor.hpp"
+
+#include <cassert>
+#include <deque>
+
+namespace zkphire::sim {
+
+using poly::GateExpr;
+using poly::SlotId;
+using poly::Term;
+using poly::VirtualPoly;
+
+namespace {
+
+/** Per-term accumulation register file: d_t + 1 running sums. */
+struct TermRegs {
+    std::vector<Fr> sums; // index = evaluation point 0..d_t
+};
+
+/**
+ * Extend a term's accumulated univariate (values at 0..d_t) to point k.
+ * Exact because the per-term contribution has degree d_t.
+ */
+Fr
+extendTermSum(const std::vector<Fr> &vals, std::size_t k)
+{
+    if (k < vals.size())
+        return vals[k];
+    return sumcheck::evalUnivariate(vals, Fr::fromU64(k));
+}
+
+} // namespace
+
+sumcheck::ProverOutput
+executeOnUnit(VirtualPoly poly, unsigned num_ees, unsigned num_pls,
+              hash::Transcript &tr, ScheduleKind kind, ExecutorStats *stats)
+{
+    const GateExpr &expr = poly.expr();
+    const unsigned mu = poly.numVars();
+    const std::size_t degree = expr.degree();
+    assert(mu > 0 && degree > 0);
+
+    // Compile once: the schedule is round-invariant (paper §III-E).
+    std::vector<gates::SlotRole> roles(expr.numSlots(),
+                                       gates::SlotRole::Dense);
+    PolyShape shape = PolyShape::fromExpr(expr, roles);
+    Schedule sched = buildSchedule(shape, num_ees, num_pls, kind);
+
+    // PolyShape drops factor-free (constant) terms; map schedule term ids
+    // back to expression term ids and remember the constants.
+    std::vector<std::size_t> shape_to_expr;
+    std::vector<const Term *> const_terms;
+    for (std::size_t t = 0; t < expr.terms().size(); ++t) {
+        if (expr.terms()[t].factors.empty())
+            const_terms.push_back(&expr.terms()[t]);
+        else
+            shape_to_expr.push_back(t);
+    }
+
+    ExecutorStats local;
+    ExecutorStats &st = stats ? *stats : local;
+
+    sumcheck::ProverOutput out;
+    tr.appendU64("sc/num_vars", mu);
+    tr.appendU64("sc/degree", degree);
+
+    for (unsigned round = 0; round < mu; ++round) {
+        const std::size_t half = std::size_t(1) << (poly.numVars() - 1);
+
+        // Accumulation registers, one bank per (non-constant) term.
+        std::vector<TermRegs> regs(shape.numTerms());
+        for (std::size_t t = 0; t < shape.numTerms(); ++t)
+            regs[t].sums.assign(shape.termDegree(t) + 1, Fr::zero());
+
+        for (std::size_t j = 0; j < half; ++j) {
+            // Tmp MLE buffer (accumulation chain) and the leaf-product
+            // queue (balanced tree) for the pair currently in flight.
+            std::vector<Fr> tmp;
+            std::deque<std::vector<Fr>> leaf_queue;
+            for (const ScheduleNode &node : sched.nodes) {
+                const std::size_t k_pts =
+                    shape.termDegree(node.term) + 1;
+                std::vector<Fr> prod;
+                if (node.treeCombine) {
+                    // Combine two outstanding partial products.
+                    assert(leaf_queue.size() >= 2);
+                    prod = std::move(leaf_queue.front());
+                    leaf_queue.pop_front();
+                    const std::vector<Fr> &other = leaf_queue.front();
+                    for (std::size_t k = 0; k < k_pts; ++k) {
+                        prod[k] *= other[k];
+                        ++st.products;
+                    }
+                    leaf_queue.pop_front();
+                } else {
+                    // Extension Engines: each occurrence's (lo, hi) pair
+                    // extended to the term's k_pts evaluations.
+                    prod.assign(k_pts, Fr::one());
+                    for (SlotId s : node.occurrences) {
+                        const poly::Mle &tbl = poly.table(s);
+                        Fr lo = tbl[2 * j];
+                        Fr diff = tbl[2 * j + 1] - lo;
+                        Fr ext = lo;
+                        for (std::size_t k = 0; k < k_pts; ++k) {
+                            prod[k] *= ext;
+                            ext += diff;
+                            ++st.extensions;
+                            ++st.products;
+                        }
+                    }
+                    if (node.usesTmpIn) {
+                        assert(tmp.size() == k_pts);
+                        for (std::size_t k = 0; k < k_pts; ++k) {
+                            prod[k] *= tmp[k];
+                            ++st.products;
+                        }
+                    }
+                }
+                // Route the node output: Tmp buffer, leaf queue, or the
+                // accumulation registers.
+                if (node.writesTmpOut) {
+                    if (kind == ScheduleKind::BalancedTree &&
+                        !node.usesTmpIn && !node.treeCombine) {
+                        leaf_queue.push_back(std::move(prod));
+                    } else if (node.treeCombine) {
+                        leaf_queue.push_back(std::move(prod));
+                    } else {
+                        tmp = std::move(prod);
+                    }
+                    ++st.tmpWrites;
+                } else {
+                    auto &bank = regs[node.term].sums;
+                    for (std::size_t k = 0; k < k_pts; ++k)
+                        bank[k] += prod[k];
+                    tmp.clear();
+                }
+            }
+        }
+
+        // Round polynomial: extend each term bank to the composite grid,
+        // apply coefficients, and add constant terms (coeff * half each).
+        std::vector<Fr> evals(degree + 1, Fr::zero());
+        for (std::size_t t = 0; t < shape.numTerms(); ++t) {
+            const Term &term = expr.terms()[shape_to_expr[t]];
+            for (std::size_t k = 0; k <= degree; ++k)
+                evals[k] += term.coeff * extendTermSum(regs[t].sums, k);
+        }
+        if (!const_terms.empty()) {
+            Fr pairs = Fr::fromU64(half);
+            for (const Term *term : const_terms)
+                for (std::size_t k = 0; k <= degree; ++k)
+                    evals[k] += term->coeff * pairs;
+        }
+
+        if (round == 0) {
+            out.proof.claimedSum = evals[0] + evals[1];
+            tr.appendFr("sc/claim", out.proof.claimedSum);
+        }
+        tr.appendFrVec("sc/round", evals);
+        Fr r = tr.challengeFr("sc/challenge");
+        out.proof.roundEvals.push_back(std::move(evals));
+        out.challenges.push_back(r);
+
+        // MLE Update units fold every table with the challenge.
+        st.updates += poly.numSlots() * half;
+        poly.fixFirstVarInPlace(r);
+    }
+
+    out.proof.finalSlotEvals.resize(poly.numSlots());
+    for (std::size_t s = 0; s < poly.numSlots(); ++s)
+        out.proof.finalSlotEvals[s] = poly.table(SlotId(s))[0];
+    tr.appendFrVec("sc/final_evals", out.proof.finalSlotEvals);
+    return out;
+}
+
+} // namespace zkphire::sim

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Functional model of the programmable SumCheck unit.
+ *
+ * Executes a compiled schedule (sim/sumcheck_sched) on REAL field data,
+ * emulating the datapath of Fig. 3 structure-for-structure: per pair,
+ * Extension Engines produce each node's K evaluations, Product Lanes
+ * multiply them (chaining partial products through the Tmp MLE buffer for
+ * multi-node terms), and per-term accumulation registers collect the
+ * sums. At round end, each term's d_t+1 accumulated values are extended to
+ * the composite degree grid (the "early exit" optimization — a term's
+ * univariate contribution is degree d_t, so extrapolating the accumulated
+ * sums is exact), coefficients are applied, and the round polynomial is
+ * emitted. MLE Update units then fold every table with the Fiat-Shamir
+ * challenge.
+ *
+ * The executor must produce byte-identical proofs to the reference prover
+ * (src/sumcheck/prover.cpp); the equivalence tests in
+ * tests/test_unit_executor.cpp are what ties the performance model's
+ * schedules to functional correctness.
+ */
+#ifndef ZKPHIRE_SIM_UNIT_EXECUTOR_HPP
+#define ZKPHIRE_SIM_UNIT_EXECUTOR_HPP
+
+#include "poly/virtual_poly.hpp"
+#include "sim/sumcheck_sched.hpp"
+#include "sumcheck/prover.hpp"
+
+namespace zkphire::sim {
+
+using ff::Fr;
+
+/** Per-run statistics from the functional execution. */
+struct ExecutorStats {
+    std::uint64_t extensions = 0; ///< EE evaluation values produced.
+    std::uint64_t products = 0;   ///< PL multiplications performed.
+    std::uint64_t updates = 0;    ///< MLE Update multiplications.
+    std::uint64_t tmpWrites = 0;  ///< Tmp MLE buffer writebacks.
+};
+
+/**
+ * Run the full SumCheck protocol through the modeled datapath.
+ *
+ * @param poly    Composite polynomial with bound tables (consumed).
+ * @param num_ees Extension engines per PE (schedule width).
+ * @param num_pls Product lanes (affects only scheduling, not results).
+ * @param tr      Fiat-Shamir transcript (must match the verifier's).
+ * @param kind    Accumulation-chain or balanced-tree decomposition.
+ * @param stats   Optional op-count output.
+ *
+ * @return Exactly what sumcheck::prove would return for the same inputs.
+ */
+sumcheck::ProverOutput executeOnUnit(
+    poly::VirtualPoly poly, unsigned num_ees, unsigned num_pls,
+    hash::Transcript &tr, ScheduleKind kind = ScheduleKind::Accumulation,
+    ExecutorStats *stats = nullptr);
+
+} // namespace zkphire::sim
+
+#endif // ZKPHIRE_SIM_UNIT_EXECUTOR_HPP

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The paper's evaluation workloads (Tables VI-VIII, Fig. 13): published
+ * gate counts for ZCash, Auction, Rescue hashes, Zexe, transaction rollups,
+ * and zkEVM, in both Vanilla and Jellyfish arithmetizations, together with
+ * the paper's reported 32-thread CPU baselines (used as calibration anchors
+ * and printed alongside our model's predictions).
+ */
+#ifndef ZKPHIRE_SIM_WORKLOADS_HPP
+#define ZKPHIRE_SIM_WORKLOADS_HPP
+
+#include <string>
+#include <vector>
+
+namespace zkphire::sim {
+
+/** One evaluation workload. */
+struct Workload {
+    std::string name;
+    int muVanilla = -1;   ///< log2 Vanilla gate count (-1: not available).
+    int muJellyfish = -1; ///< log2 Jellyfish gate count.
+    double cpuMsVanilla = -1;   ///< Paper-reported 32-thread CPU (ms).
+    double cpuMsJellyfish = -1; ///< Paper-reported 32-thread CPU (ms).
+};
+
+/** Table VI/VII workloads in paper order. */
+std::vector<Workload> paperWorkloads();
+
+/** Fig. 13 workload list (includes the scaled ZCash/Zexe variants). */
+std::vector<Workload> fig13Workloads();
+
+/** Lookup by name (asserts on miss). */
+const Workload &workloadByName(const std::string &name);
+
+} // namespace zkphire::sim
+
+#endif // ZKPHIRE_SIM_WORKLOADS_HPP

@@ -1,0 +1,93 @@
+#include "sumcheck/grand_product.hpp"
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace zkphire::sumcheck {
+
+namespace {
+
+/**
+ * Memoized evaluation of tree entry i. Odd-index chains strictly increase
+ * toward 2N-1 and even indices are leaves, so recursion depth is O(mu).
+ */
+Fr
+computeEntry(std::size_t i, const Mle &phi, std::vector<Fr> &v,
+             std::vector<std::uint8_t> &done, std::size_t n)
+{
+    if (done[i])
+        return v[i];
+    Fr val;
+    if (i % 2 == 0) {
+        val = phi[i / 2];
+    } else if (i == 2 * n - 1) {
+        // All-ones entry: unconstrained when the grand product is 1 (the
+        // relation there reads v = root * v); pin it to zero.
+        val = Fr::zero();
+    } else {
+        std::size_t x = (i - 1) / 2;
+        Fr left = computeEntry(x, phi, v, done, n);
+        Fr right = computeEntry(x + n, phi, v, done, n);
+        val = left * right;
+    }
+    v[i] = val;
+    done[i] = 1;
+    return val;
+}
+
+} // namespace
+
+Mle
+buildProductTree(const Mle &phi)
+{
+    const std::size_t n = phi.size();
+    std::vector<Fr> v(2 * n, Fr::zero());
+    std::vector<std::uint8_t> done(2 * n, 0);
+    for (std::size_t i = 0; i < 2 * n; ++i)
+        computeEntry(i, phi, v, done, n);
+    return Mle(std::move(v));
+}
+
+Mle
+extractPi(const Mle &v)
+{
+    const std::size_t n = v.size() / 2;
+    std::vector<Fr> pi(n);
+    for (std::size_t x = 0; x < n; ++x)
+        pi[x] = v[2 * x + 1];
+    return Mle(std::move(pi));
+}
+
+Mle
+extractP1(const Mle &v)
+{
+    const std::size_t n = v.size() / 2;
+    std::vector<Fr> p1(v.evals().begin(), v.evals().begin() + n);
+    return Mle(std::move(p1));
+}
+
+Mle
+extractP2(const Mle &v)
+{
+    const std::size_t n = v.size() / 2;
+    std::vector<Fr> p2(v.evals().begin() + n, v.evals().end());
+    return Mle(std::move(p2));
+}
+
+Fr
+treeRootProduct(const Mle &v)
+{
+    const std::size_t n = v.size() / 2;
+    return v[n - 1];
+}
+
+std::vector<Fr>
+rootProductPoint(unsigned mu)
+{
+    std::vector<Fr> point(mu + 1, Fr::one());
+    point[mu] = Fr::zero();
+    return point;
+}
+
+} // namespace zkphire::sumcheck

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * OpenCheck: batching many (polynomial, point, value) evaluation claims into
+ * a single SumCheck (paper §IV-A, Table I row 24).
+ *
+ * Given claims P_i(z_i) = y_i, the verifier samples eta and both sides run
+ * SumCheck over
+ *     g(x) = Sum_i eta^i * P_i(x) * eq(x, z_i)
+ * whose hypercube sum equals Sum_i eta^i * y_i. After the SumCheck, all
+ * claims collapse to evaluations of the P_i at ONE common point (the round
+ * challenges), which a single batched PCS opening then certifies — this is
+ * what keeps HyperPlonk proofs at 4-5 KB.
+ */
+#ifndef ZKPHIRE_SUMCHECK_OPENCHECK_HPP
+#define ZKPHIRE_SUMCHECK_OPENCHECK_HPP
+
+#include <vector>
+
+#include "sumcheck/prover.hpp"
+#include "sumcheck/verifier.hpp"
+
+namespace zkphire::sumcheck {
+
+/** One evaluation claim to be batched. */
+struct EvalClaim {
+    poly::Mle table;        // prover side: the polynomial (verifier: empty)
+    std::vector<Fr> point;  // z_i
+    Fr value;               // y_i
+};
+
+/** OpenCheck proof. */
+struct OpencheckProof {
+    SumcheckProof sc;
+    std::size_t sizeBytes() const { return sc.sizeBytes(); }
+};
+
+struct OpencheckProverOutput {
+    OpencheckProof proof;
+    std::vector<Fr> challenges; // the single common opening point
+    /** P_i evaluations at the common point (to be PCS-opened). */
+    std::vector<Fr> polyEvals;
+};
+
+/** Prove a batch of evaluation claims. All points must have equal dims. */
+OpencheckProverOutput proveOpen(std::vector<EvalClaim> claims,
+                                hash::Transcript &tr, unsigned threads = 1);
+
+struct OpencheckVerifyResult {
+    bool ok = false;
+    std::string error;
+    std::vector<Fr> challenges;
+    std::vector<Fr> polyEvals; // claimed P_i(challenges), PCS-bound later
+};
+
+/**
+ * Verify an OpenCheck proof against claims (tables not needed; only points
+ * and values). eq(x, z_i) evaluations at the challenge point are recomputed
+ * by the verifier.
+ */
+OpencheckVerifyResult verifyOpen(const std::vector<EvalClaim> &claims,
+                                 const OpencheckProof &proof,
+                                 unsigned num_vars, hash::Transcript &tr);
+
+} // namespace zkphire::sumcheck
+
+#endif // ZKPHIRE_SUMCHECK_OPENCHECK_HPP

@@ -1,0 +1,183 @@
+#include "sumcheck/prover.hpp"
+
+#include <cassert>
+#include <thread>
+
+namespace zkphire::sumcheck {
+
+using poly::GateExpr;
+using poly::Mle;
+using poly::SlotId;
+using poly::Term;
+using poly::VirtualPoly;
+
+std::size_t
+SumcheckProof::sizeBytes() const
+{
+    std::size_t elems = 1; // claimedSum
+    for (const auto &r : roundEvals)
+        elems += r.size();
+    elems += finalSlotEvals.size();
+    return elems * ff::kFrBytes;
+}
+
+namespace {
+
+/**
+ * Accumulate this round's s_i evaluations over pair indices [begin, end).
+ *
+ * For each pair, every referenced slot's (lo, hi) entries are extended to
+ * X = 0..D by repeated addition of (hi - lo); term products are then formed
+ * at every evaluation point and accumulated.
+ */
+void
+accumulateRange(const VirtualPoly &vp, std::size_t begin, std::size_t end,
+                std::size_t degree, std::vector<Fr> &acc)
+{
+    const GateExpr &expr = vp.expr();
+    const std::size_t num_slots = vp.numSlots();
+    const std::size_t num_points = degree + 1;
+
+    // ext[s * num_points + e] = slot s extended to X = e.
+    std::vector<Fr> ext(num_slots * num_points);
+    std::vector<bool> used(num_slots, false);
+    for (SlotId s : expr.referencedSlots())
+        used[s] = true;
+
+    for (std::size_t j = begin; j < end; ++j) {
+        for (std::size_t s = 0; s < num_slots; ++s) {
+            if (!used[s])
+                continue;
+            const Mle &tbl = vp.table(SlotId(s));
+            Fr lo = tbl[2 * j];
+            Fr hi = tbl[2 * j + 1];
+            Fr diff = hi - lo;
+            Fr *e = &ext[s * num_points];
+            e[0] = lo;
+            for (std::size_t p = 1; p < num_points; ++p)
+                e[p] = e[p - 1] + diff;
+        }
+        for (const Term &t : expr.terms()) {
+            for (std::size_t p = 0; p < num_points; ++p) {
+                Fr prod = t.coeff;
+                for (SlotId f : t.factors)
+                    prod *= ext[f * num_points + p];
+                acc[p] += prod;
+            }
+        }
+    }
+}
+
+/** Compute one round's evaluations, optionally multi-threaded. */
+std::vector<Fr>
+roundEvaluations(const VirtualPoly &vp, std::size_t degree, unsigned threads)
+{
+    const std::size_t half = std::size_t(1) << (vp.numVars() - 1);
+    const std::size_t num_points = degree + 1;
+    if (threads <= 1 || half < 1024) {
+        std::vector<Fr> acc(num_points, Fr::zero());
+        accumulateRange(vp, 0, half, degree, acc);
+        return acc;
+    }
+    const unsigned t = std::min<std::size_t>(threads, half);
+    std::vector<std::vector<Fr>> partial(
+        t, std::vector<Fr>(num_points, Fr::zero()));
+    std::vector<std::thread> workers;
+    workers.reserve(t);
+    for (unsigned w = 0; w < t; ++w) {
+        std::size_t begin = half * w / t;
+        std::size_t end = half * (w + 1) / t;
+        workers.emplace_back([&, w, begin, end] {
+            accumulateRange(vp, begin, end, degree, partial[w]);
+        });
+    }
+    for (auto &th : workers)
+        th.join();
+    std::vector<Fr> acc(num_points, Fr::zero());
+    for (const auto &p : partial)
+        for (std::size_t e = 0; e < num_points; ++e)
+            acc[e] += p[e];
+    return acc;
+}
+
+} // namespace
+
+ProverOutput
+prove(VirtualPoly poly, hash::Transcript &tr, unsigned threads)
+{
+    const unsigned mu = poly.numVars();
+    const std::size_t degree = poly.expr().degree();
+    assert(mu > 0 && degree > 0);
+
+    ProverOutput out;
+    out.proof.roundEvals.reserve(mu);
+    out.challenges.reserve(mu);
+
+    tr.appendU64("sc/num_vars", mu);
+    tr.appendU64("sc/degree", degree);
+
+    for (unsigned round = 0; round < mu; ++round) {
+        std::vector<Fr> evals = roundEvaluations(poly, degree, threads);
+        if (round == 0) {
+            out.proof.claimedSum = evals[0] + evals[1];
+            tr.appendFr("sc/claim", out.proof.claimedSum);
+        }
+        tr.appendFrVec("sc/round", evals);
+        Fr r = tr.challengeFr("sc/challenge");
+        out.proof.roundEvals.push_back(std::move(evals));
+        out.challenges.push_back(r);
+        poly.fixFirstVarInPlace(r);
+    }
+
+    // After mu folds each table is a single evaluation at the challenge
+    // point; these back the verifier's final check (and, in HyperPlonk, the
+    // subsequent PCS openings).
+    out.proof.finalSlotEvals.resize(poly.numSlots());
+    for (std::size_t s = 0; s < poly.numSlots(); ++s)
+        out.proof.finalSlotEvals[s] = poly.table(SlotId(s))[0];
+    tr.appendFrVec("sc/final_evals", out.proof.finalSlotEvals);
+    return out;
+}
+
+Fr
+evalUnivariate(std::span<const Fr> evals, const Fr &r)
+{
+    const std::size_t n = evals.size();
+    assert(n >= 1);
+    if (n == 1)
+        return evals[0];
+
+    // If r is one of the integer nodes, return directly (avoids 0 division).
+    for (std::size_t e = 0; e < n; ++e)
+        if (r == Fr::fromU64(e))
+            return evals[e];
+
+    // Barycentric-style Lagrange on nodes 0..n-1.
+    std::vector<Fr> prefix(n), suffix(n);
+    Fr acc = Fr::one();
+    for (std::size_t e = 0; e < n; ++e) {
+        prefix[e] = acc;
+        acc *= r - Fr::fromU64(e);
+    }
+    acc = Fr::one();
+    for (std::size_t e = n; e-- > 0;) {
+        suffix[e] = acc;
+        acc *= r - Fr::fromU64(e);
+    }
+
+    // denom_e = e! * (n-1-e)! * (-1)^(n-1-e)
+    std::vector<Fr> fact(n);
+    fact[0] = Fr::one();
+    for (std::size_t i = 1; i < n; ++i)
+        fact[i] = fact[i - 1] * Fr::fromU64(i);
+    Fr result = Fr::zero();
+    for (std::size_t e = 0; e < n; ++e) {
+        Fr denom = fact[e] * fact[n - 1 - e];
+        if ((n - 1 - e) & 1)
+            denom = denom.neg();
+        result += evals[e] * prefix[e] * suffix[e] * denom.inverse();
+    }
+    return result;
+}
+
+} // namespace zkphire::sumcheck

@@ -1,0 +1,71 @@
+#include "sumcheck/verifier.hpp"
+
+namespace zkphire::sumcheck {
+
+RoundCheckResult
+verifyRounds(const SumcheckProof &proof, unsigned num_vars, std::size_t degree,
+             hash::Transcript &tr, const std::optional<Fr> &expected_sum)
+{
+    RoundCheckResult res;
+    if (proof.roundEvals.size() != num_vars) {
+        res.error = "wrong number of rounds";
+        return res;
+    }
+    if (expected_sum && proof.claimedSum != *expected_sum) {
+        res.error = "claimed sum does not match expected value";
+        return res;
+    }
+
+    tr.appendU64("sc/num_vars", num_vars);
+    tr.appendU64("sc/degree", degree);
+
+    Fr claim = proof.claimedSum;
+    for (unsigned round = 0; round < num_vars; ++round) {
+        const auto &evals = proof.roundEvals[round];
+        if (evals.size() != degree + 1) {
+            res.error = "round " + std::to_string(round) +
+                        ": wrong evaluation count";
+            return res;
+        }
+        if (round == 0)
+            tr.appendFr("sc/claim", proof.claimedSum);
+        if (evals[0] + evals[1] != claim) {
+            res.error = "round " + std::to_string(round) +
+                        ": s(0)+s(1) != running claim";
+            return res;
+        }
+        tr.appendFrVec("sc/round", evals);
+        Fr r = tr.challengeFr("sc/challenge");
+        res.challenges.push_back(r);
+        claim = evalUnivariate(evals, r);
+    }
+    tr.appendFrVec("sc/final_evals", proof.finalSlotEvals);
+
+    res.finalClaim = claim;
+    res.ok = true;
+    return res;
+}
+
+RoundCheckResult
+verify(const poly::GateExpr &expr, const SumcheckProof &proof,
+       unsigned num_vars, hash::Transcript &tr,
+       const std::optional<Fr> &expected_sum)
+{
+    RoundCheckResult res =
+        verifyRounds(proof, num_vars, expr.degree(), tr, expected_sum);
+    if (!res.ok)
+        return res;
+    if (proof.finalSlotEvals.size() != expr.numSlots()) {
+        res.ok = false;
+        res.error = "wrong number of final slot evaluations";
+        return res;
+    }
+    if (expr.evaluate(proof.finalSlotEvals) != res.finalClaim) {
+        res.ok = false;
+        res.error = "final evaluation check failed";
+        return res;
+    }
+    return res;
+}
+
+} // namespace zkphire::sumcheck

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * SumCheck verifier.
+ *
+ * Replays the Fiat-Shamir transcript, checks s_i(0) + s_i(1) against the
+ * running claim each round, reduces the claim to s_i(r_i), and finally
+ * checks the composite expression against the prover's claimed slot
+ * evaluations (paper §II-C: "V evaluates f at (r_1..r_mu) and accepts if all
+ * checks pass"). Callers that can compute some slot evaluations themselves
+ * (e.g. ZeroCheck's f_r = eq(x, r)) override the prover-claimed values.
+ */
+#ifndef ZKPHIRE_SUMCHECK_VERIFIER_HPP
+#define ZKPHIRE_SUMCHECK_VERIFIER_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hash/transcript.hpp"
+#include "poly/gate_expr.hpp"
+#include "sumcheck/prover.hpp"
+
+namespace zkphire::sumcheck {
+
+/** Outcome of transcript replay + round checks. */
+struct RoundCheckResult {
+    bool ok = false;
+    std::string error;
+    std::vector<Fr> challenges; // reconstructed r_1..r_mu
+    Fr finalClaim;              // expected f(r_1..r_mu)
+};
+
+/**
+ * Verify the round structure of a proof: transcript consistency and the
+ * s_i(0)+s_i(1) == claim chain. Does NOT perform the final evaluation check.
+ *
+ * @param expected_sum If set, additionally require claimedSum == *expected_sum
+ *        (ZeroCheck requires 0).
+ */
+RoundCheckResult verifyRounds(const SumcheckProof &proof, unsigned num_vars,
+                              std::size_t degree, hash::Transcript &tr,
+                              const std::optional<Fr> &expected_sum = {});
+
+/**
+ * Full verification: round checks plus the final evaluation check
+ * expr(finalSlotEvals) == finalClaim using the prover-claimed slot values.
+ * (In the full HyperPlonk pipeline the claimed values are additionally bound
+ * by PCS openings; see src/hyperplonk/verifier.)
+ */
+RoundCheckResult verify(const poly::GateExpr &expr, const SumcheckProof &proof,
+                        unsigned num_vars, hash::Transcript &tr,
+                        const std::optional<Fr> &expected_sum = {});
+
+} // namespace zkphire::sumcheck
+
+#endif // ZKPHIRE_SUMCHECK_VERIFIER_HPP

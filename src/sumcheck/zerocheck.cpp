@@ -1,0 +1,71 @@
+#include "sumcheck/zerocheck.hpp"
+
+#include <cassert>
+
+#include "poly/virtual_poly.hpp"
+
+namespace zkphire::sumcheck {
+
+using poly::GateExpr;
+using poly::Mle;
+using poly::SlotId;
+using poly::VirtualPoly;
+
+ZerocheckProverOutput
+proveZero(const GateExpr &expr, std::vector<Mle> tables, hash::Transcript &tr,
+          unsigned threads)
+{
+    assert(!tables.empty());
+    const unsigned mu = tables[0].numVars();
+
+    ZerocheckProverOutput out;
+    out.rVec = tr.challengeFrVec("zc/r", mu);
+
+    SlotId fr_slot = 0;
+    GateExpr masked = expr.multipliedBySlot("f_r", &fr_slot);
+    tables.push_back(Mle::eqTable(out.rVec));
+
+    ProverOutput sc = prove(VirtualPoly(masked, std::move(tables)), tr,
+                            threads);
+    assert(sc.proof.claimedSum.isZero() &&
+           "ZeroCheck witness does not satisfy the constraint");
+    out.proof.sc = std::move(sc.proof);
+    out.challenges = std::move(sc.challenges);
+    return out;
+}
+
+ZerocheckVerifyResult
+verifyZero(const GateExpr &expr, const ZerocheckProof &proof,
+           unsigned num_vars, hash::Transcript &tr)
+{
+    ZerocheckVerifyResult res;
+    std::vector<Fr> r_vec = tr.challengeFrVec("zc/r", num_vars);
+
+    GateExpr masked = expr.multipliedBySlot("f_r", nullptr);
+    RoundCheckResult rounds = verifyRounds(
+        proof.sc, num_vars, masked.degree(), tr, Fr::zero());
+    if (!rounds.ok) {
+        res.error = rounds.error;
+        return res;
+    }
+    if (proof.sc.finalSlotEvals.size() != masked.numSlots()) {
+        res.error = "wrong number of final slot evaluations";
+        return res;
+    }
+
+    // Recompute f_r(challenges) = eq(challenges, r) ourselves and splice it
+    // over the prover's claimed value before the final check.
+    std::vector<Fr> evals = proof.sc.finalSlotEvals;
+    evals.back() = poly::eqEval(rounds.challenges, r_vec);
+    if (masked.evaluate(evals) != rounds.finalClaim) {
+        res.error = "final evaluation check failed";
+        return res;
+    }
+
+    res.ok = true;
+    res.challenges = std::move(rounds.challenges);
+    res.slotEvals.assign(evals.begin(), evals.end() - 1);
+    return res;
+}
+
+} // namespace zkphire::sumcheck

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * BLS12-381 G1 group-law and MSM tests. The doubled-generator vector was
+ * computed independently with Python bignums.
+ */
+#include <gtest/gtest.h>
+
+#include "ec/g1.hpp"
+#include "ec/msm.hpp"
+
+using namespace zkphire::ec;
+using zkphire::ff::Fq;
+using zkphire::ff::Fr;
+using zkphire::ff::Rng;
+
+TEST(G1, GeneratorOnCurve)
+{
+    EXPECT_TRUE(g1Generator().isOnCurve());
+    EXPECT_FALSE(g1Generator().infinity);
+}
+
+TEST(G1, KnownDouble)
+{
+    G1Affine two_g =
+        G1Jacobian::fromAffine(g1Generator()).dbl().toAffine();
+    EXPECT_TRUE(two_g.isOnCurve());
+    EXPECT_EQ(two_g.x.toBig().toHex(),
+        "0x0572cbea904d67468808c8eb50a9450c9721db309128012543902d0ac358a62a"
+        "e28f75bb8f1c7c42c39a8c5529bf0f4e");
+    EXPECT_EQ(two_g.y.toBig().toHex(),
+        "0x166a9d8cabc673a322fda673779d8e3822ba3ecb8670e461f73bb9021d5fd76a"
+        "4c56d9d4cd16bd1bba86881979749d28");
+}
+
+TEST(G1, AddEqualsDouble)
+{
+    G1Jacobian g = G1Jacobian::fromAffine(g1Generator());
+    EXPECT_EQ(g.add(g), g.dbl());
+    EXPECT_EQ(g.addMixed(g1Generator()), g.dbl());
+}
+
+TEST(G1, IdentityLaws)
+{
+    G1Jacobian g = G1Jacobian::fromAffine(g1Generator());
+    G1Jacobian id = G1Jacobian::identity();
+    EXPECT_EQ(g.add(id), g);
+    EXPECT_EQ(id.add(g), g);
+    EXPECT_EQ(id.dbl(), id);
+    EXPECT_EQ(g.add(g.neg()), id);
+    EXPECT_TRUE(id.toAffine().infinity);
+    EXPECT_EQ(id.addMixed(g1Generator()), g);
+}
+
+TEST(G1, GroupOrderAnnihilates)
+{
+    // r * G == identity: a strong end-to-end check of field + curve code.
+    G1Jacobian g = G1Jacobian::fromAffine(g1Generator());
+    // r = modulus of Fr; multiply by r via (r - 1) * G + G.
+    Fr r_minus_1 = Fr::zero() - Fr::one();
+    G1Jacobian almost = g.mulScalar(r_minus_1);
+    EXPECT_TRUE(almost.add(g).isIdentity());
+    // And (r-1) * G == -G.
+    EXPECT_EQ(almost, g.neg());
+}
+
+TEST(G1, ScalarMulSmallValues)
+{
+    G1Jacobian g = G1Jacobian::fromAffine(g1Generator());
+    G1Jacobian acc = G1Jacobian::identity();
+    for (std::uint64_t k = 0; k <= 8; ++k) {
+        EXPECT_EQ(g.mulScalar(Fr::fromU64(k)), acc) << "k=" << k;
+        acc = acc.add(g);
+    }
+}
+
+TEST(G1, ScalarMulDistributes)
+{
+    Rng rng(61);
+    G1Jacobian g = G1Jacobian::fromAffine(g1Generator());
+    Fr a = Fr::random(rng), b = Fr::random(rng);
+    EXPECT_EQ(g.mulScalar(a).add(g.mulScalar(b)), g.mulScalar(a + b));
+    EXPECT_EQ(g.mulScalar(a).mulScalar(b), g.mulScalar(a * b));
+}
+
+TEST(G1, AssociativityOnRandomPoints)
+{
+    Rng rng(62);
+    G1Jacobian p = G1Jacobian::fromAffine(randomG1(rng));
+    G1Jacobian q = G1Jacobian::fromAffine(randomG1(rng));
+    G1Jacobian r = G1Jacobian::fromAffine(randomG1(rng));
+    EXPECT_EQ(p.add(q).add(r), p.add(q.add(r)));
+    EXPECT_EQ(p.add(q), q.add(p));
+}
+
+TEST(G1, AffineRoundTrip)
+{
+    Rng rng(63);
+    G1Jacobian p = G1Jacobian::fromAffine(randomG1(rng));
+    // Rescale Z to a random value; affine normalization must agree.
+    Fq z = Fq::random(rng);
+    G1Jacobian q{p.X * z.square(), p.Y * z.square() * z, p.Z * z};
+    EXPECT_EQ(p, q);
+    EXPECT_EQ(p.toAffine(), q.toAffine());
+    EXPECT_TRUE(p.toAffine().isOnCurve());
+}
+
+class MsmSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MsmSizes, PippengerMatchesNaive)
+{
+    const std::size_t n = GetParam();
+    Rng rng(1000 + n);
+    std::vector<Fr> scalars;
+    std::vector<G1Affine> points;
+    for (std::size_t i = 0; i < n; ++i) {
+        scalars.push_back(Fr::random(rng));
+        points.push_back(randomG1(rng));
+    }
+    G1Jacobian expect = msmNaive(scalars, points);
+    EXPECT_EQ(msmPippenger(scalars, points), expect);
+    // Explicit window sizes must agree too.
+    EXPECT_EQ(msmPippenger(scalars, points, 4), expect);
+    EXPECT_EQ(msmPippenger(scalars, points, 9), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MsmSizes,
+                         ::testing::Values(1, 2, 3, 7, 16, 33, 64));
+
+TEST(Msm, SparseScalarsFastPath)
+{
+    Rng rng(71);
+    const std::size_t n = 64;
+    std::vector<Fr> scalars;
+    std::vector<G1Affine> points;
+    for (std::size_t i = 0; i < n; ++i) {
+        // ~90% of scalars in {0,1}, like witness MSMs in the paper.
+        double u = rng.nextDouble();
+        scalars.push_back(u < 0.6   ? Fr::zero()
+                          : u < 0.9 ? Fr::one()
+                                    : Fr::random(rng));
+        points.push_back(randomG1(rng));
+    }
+    MsmStats stats;
+    G1Jacobian got = msmPippenger(scalars, points, 0, &stats);
+    EXPECT_EQ(got, msmNaive(scalars, points));
+    EXPECT_GT(stats.trivialScalars, n / 2);
+    EXPECT_EQ(stats.trivialScalars + stats.denseScalars, n);
+}
+
+TEST(Msm, EmptyAndZeroInputs)
+{
+    EXPECT_TRUE(msmPippenger({}, {}).isIdentity());
+    std::vector<Fr> scalars(5, Fr::zero());
+    std::vector<G1Affine> points;
+    Rng rng(72);
+    for (int i = 0; i < 5; ++i)
+        points.push_back(randomG1(rng));
+    EXPECT_TRUE(msmPippenger(scalars, points).isIdentity());
+}
+
+TEST(Msm, StatsCountBucketWork)
+{
+    Rng rng(73);
+    const std::size_t n = 32;
+    std::vector<Fr> scalars;
+    std::vector<G1Affine> points;
+    for (std::size_t i = 0; i < n; ++i) {
+        scalars.push_back(Fr::random(rng) + Fr::fromU64(2)); // force dense
+        points.push_back(randomG1(rng));
+    }
+    MsmStats stats;
+    msmPippenger(scalars, points, 8, &stats);
+    EXPECT_EQ(stats.denseScalars, n);
+    // 255-bit scalars, c=8 -> 32 windows; each dense scalar contributes at
+    // most one bucket add per window.
+    EXPECT_LE(stats.pointAdds, n * 32 + 32 * (2 * 255 + 1));
+    EXPECT_GT(stats.pointDoubles, 0u);
+}
+
+TEST(Msm, ParallelMatchesSerial)
+{
+    Rng rng(74);
+    const std::size_t n = 512;
+    std::vector<Fr> scalars;
+    std::vector<G1Affine> points;
+    G1Affine base = randomG1(rng);
+    for (std::size_t i = 0; i < n; ++i) {
+        scalars.push_back(Fr::random(rng));
+        points.push_back(i % 16 == 0 ? randomG1(rng) : base);
+    }
+    G1Jacobian serial = msmPippenger(scalars, points);
+    EXPECT_EQ(msmPippengerParallel(scalars, points, 4), serial);
+    EXPECT_EQ(msmPippengerParallel(scalars, points, 1), serial);
+    EXPECT_EQ(msmPippengerParallel(scalars, points, 24), serial);
+}

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Gate library tests: every Table I row builds, has the expected composite
+ * degree, evaluates consistently against hand-written formulas, and
+ * produces role-appropriate random tables.
+ */
+#include <gtest/gtest.h>
+
+#include "gates/gate_library.hpp"
+
+using namespace zkphire::gates;
+using zkphire::ff::Fr;
+using zkphire::ff::Rng;
+using zkphire::poly::Mle;
+
+TEST(GateLibrary, AllTableIGatesBuild)
+{
+    auto gates = tableIGates();
+    ASSERT_EQ(gates.size(), 25u);
+    for (int id = 0; id < 25; ++id) {
+        EXPECT_EQ(gates[id].id, id);
+        EXPECT_EQ(gates[id].roles.size(), gates[id].expr.numSlots());
+        EXPECT_GE(gates[id].expr.numTerms(), 1u);
+        EXPECT_GE(gates[id].degree(), 1u);
+    }
+}
+
+TEST(GateLibrary, ExpectedCompositeDegrees)
+{
+    // Composite degree = max factor occurrences in any expanded term.
+    const std::size_t expected[25] = {
+        3,           // 0: qmul*a*b
+        3,           // 1: A*B*f_tau
+        2,           // 2: SumABC*Z
+        4, 5, 5,     // 3-5: curve checks (q*x^3*... gating)
+        4, 3,        // 6-7: incomplete addition
+        4, 5,        // 8-9
+        6, 6, 6, 6,  // 10-13: q*xp*xq*gate*bracket
+        4, 4, 4, 4,  // 14-17
+        4, 4,        // 18-19
+        4,           // 20: qM*w1*w2*f_r
+        5,           // 21: phi*D1*D2*D3*f_r
+        7,           // 22: qH*w^5*f_r
+        7,           // 23: phi*D1..D5*f_r
+        2,           // 24: y_i*f_ri
+    };
+    auto gates = tableIGates();
+    for (int id = 0; id < 25; ++id)
+        EXPECT_EQ(gates[id].degree(), expected[id]) << "gate " << id;
+}
+
+TEST(GateLibrary, VanillaGateMatchesManualFormula)
+{
+    Gate g = tableIGate(20);
+    ASSERT_EQ(g.expr.numSlots(), 9u);
+    Rng rng(81);
+    std::vector<Fr> v(9);
+    for (auto &x : v)
+        x = Fr::random(rng);
+    // Slot order: qL qR qM qO qC w1 w2 w3 f_r.
+    Fr expect = (v[0] * v[5] + v[1] * v[6] + v[2] * v[5] * v[6] -
+                 v[3] * v[7] + v[4]) *
+                v[8];
+    EXPECT_EQ(g.expr.evaluate(v), expect);
+}
+
+TEST(GateLibrary, JellyfishGateMatchesManualFormula)
+{
+    Gate g = tableIGate(22);
+    ASSERT_EQ(g.expr.numSlots(), 19u);
+    Rng rng(82);
+    std::vector<Fr> v(19);
+    for (auto &x : v)
+        x = Fr::random(rng);
+    // Slots: q1 q2 q3 q4 qM1 qM2 qH1 qH2 qH3 qH4 qO qecc qC w1..w5 f_r.
+    auto pow5 = [](const Fr &x) { return x * x * x * x * x; };
+    Fr w1 = v[13], w2 = v[14], w3 = v[15], w4 = v[16], w5 = v[17];
+    Fr expect = (v[0] * w1 + v[1] * w2 + v[2] * w3 + v[3] * w4 +
+                 v[4] * w1 * w2 + v[5] * w3 * w4 + v[6] * pow5(w1) +
+                 v[7] * pow5(w2) + v[8] * pow5(w3) + v[9] * pow5(w4) -
+                 v[10] * w5 + v[11] * w1 * w2 * w3 * w4 + v[12]) *
+                v[18];
+    EXPECT_EQ(g.expr.evaluate(v), expect);
+}
+
+TEST(GateLibrary, IncompleteAddition1MatchesManualFormula)
+{
+    Gate g = tableIGate(6);
+    // Slots: q, x_r, x_q, x_p, y_p, y_q.
+    Rng rng(83);
+    std::vector<Fr> v(6);
+    for (auto &x : v)
+        x = Fr::random(rng);
+    Fr dx = v[3] - v[2];
+    Fr dy = v[4] - v[5];
+    Fr expect = v[0] * ((v[1] + v[2] + v[3]) * dx * dx - dy * dy);
+    EXPECT_EQ(g.expr.evaluate(v), expect);
+}
+
+TEST(GateLibrary, CompleteAddition2MatchesManualFormula)
+{
+    Gate g = tableIGate(9);
+    // Slots: q, x_q, x_p, alpha, y_p, lambda.
+    Rng rng(84);
+    std::vector<Fr> v(6);
+    for (auto &x : v)
+        x = Fr::random(rng);
+    Fr expect = v[0] * (Fr::one() - (v[1] - v[2]) * v[3]) *
+                (v[4].dbl() * v[5] - Fr::fromU64(3) * v[2] * v[2]);
+    EXPECT_EQ(g.expr.evaluate(v), expect);
+}
+
+TEST(GateLibrary, PermCheckUsesAlphaCoefficient)
+{
+    Fr alpha = Fr::fromU64(13);
+    Gate g = tableIGate(21, alpha);
+    // Slots: pi p1 p2 phi D1 D2 D3 N1 N2 N3 f_r.
+    ASSERT_EQ(g.expr.numSlots(), 11u);
+    Rng rng(85);
+    std::vector<Fr> v(11);
+    for (auto &x : v)
+        x = Fr::random(rng);
+    Fr expect =
+        (v[0] - v[1] * v[2] +
+         alpha * (v[3] * v[4] * v[5] * v[6] - v[7] * v[8] * v[9])) *
+        v[10];
+    EXPECT_EQ(g.expr.evaluate(v), expect);
+}
+
+TEST(GateLibrary, OpenCheckStructure)
+{
+    Gate g = tableIGate(24);
+    EXPECT_EQ(g.expr.numSlots(), 12u);
+    EXPECT_EQ(g.expr.numTerms(), 6u);
+    EXPECT_EQ(g.degree(), 2u);
+}
+
+TEST(GateLibrary, TrainingSetIsRows0Through19)
+{
+    auto training = trainingSetGates();
+    ASSERT_EQ(training.size(), 20u);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(training[i].id, i);
+}
+
+TEST(GateLibrary, RandomTablesHonorRoles)
+{
+    Gate g = tableIGate(20);
+    Rng rng(86);
+    auto tables = g.randomTables(10, rng);
+    ASSERT_EQ(tables.size(), g.expr.numSlots());
+    for (std::size_t s = 0; s < tables.size(); ++s) {
+        auto stats = tables[s].sparsity();
+        switch (g.roles[s]) {
+          case SlotRole::Selector:
+            EXPECT_NEAR(stats.fracZero + stats.fracOne, 1.0, 1e-9);
+            break;
+          case SlotRole::Witness:
+            EXPECT_GT(stats.fracZero + stats.fracOne, 0.8);
+            break;
+          case SlotRole::Dense:
+            EXPECT_LT(stats.fracZero + stats.fracOne, 0.05);
+            break;
+        }
+    }
+}
+
+class SweepGateDegrees : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SweepGateDegrees, DominantTermHasDPlusOneFactors)
+{
+    unsigned d = GetParam();
+    Gate g = sweepGate(d);
+    EXPECT_EQ(g.degree(), d + 1) << "q3*w1^(d-1)*w2 plus the selector";
+    EXPECT_EQ(g.expr.numSlots(), 6u);
+    EXPECT_EQ(g.expr.numTerms(), 4u);
+    // Evaluate against the closed form.
+    Rng rng(100 + d);
+    std::vector<Fr> v(6);
+    for (auto &x : v)
+        x = Fr::random(rng);
+    // Slots: q1 q2 q3 qc w1 w2.
+    Fr expect =
+        v[0] * v[4] + v[1] * v[5] + v[2] * v[4].pow(d - 1) * v[5] + v[3];
+    EXPECT_EQ(g.expr.evaluate(v), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, SweepGateDegrees,
+                         ::testing::Values(2u, 3u, 6u, 7u, 11u, 12u, 30u));

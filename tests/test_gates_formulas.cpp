@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Independent validation of every Table I row: each gate's expanded
+ * GateExpr is evaluated at random slot values and compared against a
+ * directly hand-transcribed closed form of the paper's formula (no SymPoly
+ * involved). Any transcription or expansion error in the gate library
+ * shows up here.
+ */
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "gates/gate_library.hpp"
+
+using namespace zkphire::gates;
+using zkphire::ff::Fr;
+using zkphire::ff::Rng;
+
+namespace {
+
+using Formula = std::function<Fr(const std::vector<Fr> &)>;
+
+void
+checkGate(int id, const Formula &formula, unsigned num_trials = 5)
+{
+    Gate g = tableIGate(id, Fr::fromU64(7));
+    Rng rng(9000 + unsigned(id));
+    for (unsigned trial = 0; trial < num_trials; ++trial) {
+        std::vector<Fr> v(g.expr.numSlots());
+        for (auto &x : v)
+            x = Fr::random(rng);
+        EXPECT_EQ(g.expr.evaluate(v), formula(v))
+            << "gate " << id << " trial " << trial;
+    }
+}
+
+Fr
+curve(const Fr &x, const Fr &y)
+{
+    return y * y - x * x * x - Fr::fromU64(5);
+}
+
+} // namespace
+
+TEST(TableI, Row0VerifiableAsics)
+{
+    // qadd*(a+b) + qmul*(a*b); slots: qadd qmul a b.
+    checkGate(0, [](const std::vector<Fr> &v) {
+        return v[0] * (v[2] + v[3]) + v[1] * (v[2] * v[3]);
+    });
+}
+
+TEST(TableI, Row1Spartan1)
+{
+    // (A*B - C) * f_tau.
+    checkGate(1, [](const std::vector<Fr> &v) {
+        return (v[0] * v[1] - v[2]) * v[3];
+    });
+}
+
+TEST(TableI, Row2Spartan2)
+{
+    checkGate(2, [](const std::vector<Fr> &v) { return v[0] * v[1]; });
+}
+
+TEST(TableI, Row3NonzeroPointCheck)
+{
+    // q * (y^2 - x^3 - 5); slots: q x y.
+    checkGate(3, [](const std::vector<Fr> &v) {
+        return v[0] * curve(v[1], v[2]);
+    });
+}
+
+TEST(TableI, Row4XGatedCurveCheck)
+{
+    checkGate(4, [](const std::vector<Fr> &v) {
+        return v[0] * v[1] * curve(v[1], v[2]);
+    });
+}
+
+TEST(TableI, Row5YGatedCurveCheck)
+{
+    checkGate(5, [](const std::vector<Fr> &v) {
+        return v[0] * v[2] * curve(v[1], v[2]);
+    });
+}
+
+TEST(TableI, Row6IncompleteAddition1)
+{
+    // q*((xr+xq+xp)(xp-xq)^2 - (yp-yq)^2); slots: q xr xq xp yp yq.
+    checkGate(6, [](const std::vector<Fr> &v) {
+        Fr dx = v[3] - v[2], dy = v[4] - v[5];
+        return v[0] * ((v[1] + v[2] + v[3]) * dx * dx - dy * dy);
+    });
+}
+
+TEST(TableI, Row7IncompleteAddition2)
+{
+    // q*((yr+yq)(xp-xq) - (yp-yq)(xq-xr)); slots: q yr yq xp xq yp xr.
+    checkGate(7, [](const std::vector<Fr> &v) {
+        return v[0] * ((v[1] + v[2]) * (v[3] - v[4]) -
+                       (v[5] - v[2]) * (v[4] - v[6]));
+    });
+}
+
+TEST(TableI, Row8CompleteAddition1)
+{
+    // q*(xq-xp)*((xq-xp)*lam - (yq-yp)); slots: q xq xp lam yq yp.
+    checkGate(8, [](const std::vector<Fr> &v) {
+        Fr dx = v[1] - v[2];
+        return v[0] * dx * (dx * v[3] - (v[4] - v[5]));
+    });
+}
+
+TEST(TableI, Row9CompleteAddition2)
+{
+    // q*(1-(xq-xp)*alpha)*(2*yp*lam - 3*xp^2).
+    checkGate(9, [](const std::vector<Fr> &v) {
+        return v[0] * (Fr::one() - (v[1] - v[2]) * v[3]) *
+               (v[4].dbl() * v[5] - Fr::fromU64(3) * v[2] * v[2]);
+    });
+}
+
+TEST(TableI, Rows10To13CompleteAddition3To6)
+{
+    // Slots: q xp xq yp yq xr yr lam.
+    auto gatef_x = [](const std::vector<Fr> &v) { return v[2] - v[1]; };
+    auto gatef_y = [](const std::vector<Fr> &v) { return v[4] + v[3]; };
+    auto bracket_sq = [](const std::vector<Fr> &v) {
+        return v[7] * v[7] - v[1] - v[2] - v[5];
+    };
+    auto bracket_lin = [](const std::vector<Fr> &v) {
+        return v[7] * (v[1] - v[5]) - v[3] - v[6];
+    };
+    checkGate(10, [&](const std::vector<Fr> &v) {
+        return v[0] * v[1] * v[2] * gatef_x(v) * bracket_sq(v);
+    });
+    checkGate(11, [&](const std::vector<Fr> &v) {
+        return v[0] * v[1] * v[2] * gatef_x(v) * bracket_lin(v);
+    });
+    checkGate(12, [&](const std::vector<Fr> &v) {
+        return v[0] * v[1] * v[2] * gatef_y(v) * bracket_sq(v);
+    });
+    checkGate(13, [&](const std::vector<Fr> &v) {
+        return v[0] * v[1] * v[2] * gatef_y(v) * bracket_lin(v);
+    });
+}
+
+TEST(TableI, Rows14To17CompleteAddition7To10)
+{
+    // Slots: q xp xq xr yp yq yr inv(beta|gamma).
+    checkGate(14, [](const std::vector<Fr> &v) {
+        return v[0] * (Fr::one() - v[1] * v[7]) * (v[3] - v[2]);
+    });
+    checkGate(15, [](const std::vector<Fr> &v) {
+        return v[0] * (Fr::one() - v[1] * v[7]) * (v[6] - v[5]);
+    });
+    checkGate(16, [](const std::vector<Fr> &v) {
+        return v[0] * (Fr::one() - v[2] * v[7]) * (v[3] - v[1]);
+    });
+    checkGate(17, [](const std::vector<Fr> &v) {
+        return v[0] * (Fr::one() - v[2] * v[7]) * (v[6] - v[4]);
+    });
+}
+
+TEST(TableI, Rows18And19CompleteAddition11And12)
+{
+    // Slots: q xq xp alpha yq yp delta out.
+    auto bracket = [](const std::vector<Fr> &v) {
+        return Fr::one() - (v[1] - v[2]) * v[3] - (v[4] + v[5]) * v[6];
+    };
+    checkGate(18, [&](const std::vector<Fr> &v) {
+        return v[0] * bracket(v) * v[7];
+    });
+    checkGate(19, [&](const std::vector<Fr> &v) {
+        return v[0] * bracket(v) * v[7];
+    });
+}
+
+TEST(TableI, Row20VanillaZeroCheck)
+{
+    // (qL w1 + qR w2 + qM w1 w2 - qO w3 + qC) * f_r;
+    // slots: qL qR qM qO qC w1 w2 w3 f_r.
+    checkGate(20, [](const std::vector<Fr> &v) {
+        return (v[0] * v[5] + v[1] * v[6] + v[2] * v[5] * v[6] -
+                v[3] * v[7] + v[4]) *
+               v[8];
+    });
+}
+
+TEST(TableI, Row21VanillaPermCheck)
+{
+    // (pi - p1 p2 + 7*(phi D1 D2 D3 - N1 N2 N3)) * f_r.
+    checkGate(21, [](const std::vector<Fr> &v) {
+        Fr alpha = Fr::fromU64(7);
+        return (v[0] - v[1] * v[2] +
+                alpha * (v[3] * v[4] * v[5] * v[6] - v[7] * v[8] * v[9])) *
+               v[10];
+    });
+}
+
+TEST(TableI, Row22JellyfishZeroCheck)
+{
+    checkGate(22, [](const std::vector<Fr> &v) {
+        auto p5 = [](const Fr &x) { return x * x * x * x * x; };
+        Fr w1 = v[13], w2 = v[14], w3 = v[15], w4 = v[16], w5 = v[17];
+        return (v[0] * w1 + v[1] * w2 + v[2] * w3 + v[3] * w4 +
+                v[4] * w1 * w2 + v[5] * w3 * w4 + v[6] * p5(w1) +
+                v[7] * p5(w2) + v[8] * p5(w3) + v[9] * p5(w4) -
+                v[10] * w5 + v[11] * w1 * w2 * w3 * w4 + v[12]) *
+               v[18];
+    });
+}
+
+TEST(TableI, Row23JellyfishPermCheck)
+{
+    checkGate(23, [](const std::vector<Fr> &v) {
+        Fr alpha = Fr::fromU64(7);
+        Fr d = v[4] * v[5] * v[6] * v[7] * v[8];
+        Fr n = v[9] * v[10] * v[11] * v[12] * v[13];
+        return (v[0] - v[1] * v[2] + alpha * (v[3] * d - n)) * v[14];
+    });
+}
+
+TEST(TableI, Row24OpenCheck)
+{
+    checkGate(24, [](const std::vector<Fr> &v) {
+        Fr acc = Fr::zero();
+        for (int i = 0; i < 6; ++i)
+            acc += v[i] * v[6 + i];
+        return acc;
+    });
+}
+
+TEST(TableI, SweepFamilyClosedForm)
+{
+    for (unsigned d : {2u, 5u, 13u, 29u}) {
+        Gate g = sweepGate(d);
+        Rng rng(9500 + d);
+        std::vector<Fr> v(6);
+        for (auto &x : v)
+            x = Fr::random(rng);
+        Fr w1_pow = Fr::one();
+        for (unsigned i = 0; i + 1 < d; ++i)
+            w1_pow *= v[4];
+        Fr expect =
+            v[0] * v[4] + v[1] * v[5] + v[2] * w1_pow * v[5] + v[3];
+        EXPECT_EQ(g.expr.evaluate(v), expect) << "d=" << d;
+    }
+}

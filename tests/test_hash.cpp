@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Keccak/SHA3 known-answer tests (vectors cross-checked against Python
+ * hashlib and the well-known Ethereum empty hash) and Fiat-Shamir
+ * transcript behaviour tests.
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "hash/keccak.hpp"
+#include "hash/transcript.hpp"
+
+using namespace zkphire::hash;
+using zkphire::ff::Fr;
+
+namespace {
+
+std::vector<std::uint8_t>
+bytesOf(const char *s)
+{
+    return {reinterpret_cast<const std::uint8_t *>(s),
+            reinterpret_cast<const std::uint8_t *>(s) + std::strlen(s)};
+}
+
+} // namespace
+
+TEST(Sha3, EmptyString)
+{
+    EXPECT_EQ(toHex(sha3_256({})),
+        "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a");
+}
+
+TEST(Sha3, Abc)
+{
+    auto msg = bytesOf("abc");
+    EXPECT_EQ(toHex(sha3_256(msg)),
+        "3a985da74fe225b2045c172d6bd390bd855f086e3e9d525b46bfe24511431532");
+}
+
+TEST(Sha3, ExactlyOneRateBlock)
+{
+    // 136 zero bytes: exercises the pad-into-new-block path.
+    std::vector<std::uint8_t> msg(136, 0);
+    EXPECT_EQ(toHex(sha3_256(msg)),
+        "e772c9cf9eb9c991cdfcf125001b454fdbc0a95f188d1b4c844aa032ad6e075e");
+}
+
+TEST(Sha3, MultiBlock)
+{
+    std::vector<std::uint8_t> msg(200);
+    for (int i = 0; i < 200; ++i)
+        msg[i] = std::uint8_t(i);
+    EXPECT_EQ(toHex(sha3_256(msg)),
+        "5f728f63bf5ee48c77f453c0490398fa645b8d4c4e56be9a41cfec344d6ca899");
+}
+
+TEST(Keccak, EmptyStringEthereumVector)
+{
+    EXPECT_EQ(toHex(keccak256({})),
+        "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470");
+}
+
+TEST(Sha3, IncrementalMatchesOneShot)
+{
+    std::vector<std::uint8_t> msg(500);
+    for (int i = 0; i < 500; ++i)
+        msg[i] = std::uint8_t(i * 7);
+    Keccak256Sponge sponge(0x06);
+    sponge.absorb(std::span(msg).subspan(0, 1));
+    sponge.absorb(std::span(msg).subspan(1, 135));
+    sponge.absorb(std::span(msg).subspan(136, 200));
+    sponge.absorb(std::span(msg).subspan(336));
+    EXPECT_EQ(toHex(sponge.finalize()), toHex(sha3_256(msg)));
+}
+
+TEST(Transcript, Deterministic)
+{
+    Transcript a("test"), b("test");
+    a.appendU64("n", 42);
+    b.appendU64("n", 42);
+    EXPECT_EQ(a.challengeFr("c").toBig().toHex(),
+              b.challengeFr("c").toBig().toHex());
+}
+
+TEST(Transcript, MessageSensitivity)
+{
+    Transcript a("test"), b("test");
+    a.appendU64("n", 42);
+    b.appendU64("n", 43);
+    EXPECT_NE(a.challengeFr("c"), b.challengeFr("c"));
+}
+
+TEST(Transcript, LabelSensitivity)
+{
+    Transcript a("proto-a"), b("proto-b");
+    EXPECT_NE(a.challengeFr("c"), b.challengeFr("c"));
+}
+
+TEST(Transcript, ChallengesChainHistory)
+{
+    Transcript a("test"), b("test");
+    Fr c1a = a.challengeFr("c1");
+    Fr c1b = b.challengeFr("c1");
+    EXPECT_EQ(c1a, c1b);
+    a.appendFr("x", Fr::fromU64(1));
+    b.appendFr("x", Fr::fromU64(2));
+    EXPECT_NE(a.challengeFr("c2"), b.challengeFr("c2"));
+}
+
+TEST(Transcript, VectorAppendAndCount)
+{
+    Transcript t("test");
+    std::vector<Fr> xs{Fr::fromU64(1), Fr::fromU64(2), Fr::fromU64(3)};
+    t.appendFrVec("xs", xs);
+    auto cs = t.challengeFrVec("cs", 4);
+    EXPECT_EQ(cs.size(), 4u);
+    EXPECT_EQ(t.hashCount(), 4u);
+    // All distinct with overwhelming probability.
+    EXPECT_NE(cs[0], cs[1]);
+    EXPECT_NE(cs[1], cs[2]);
+    EXPECT_NE(cs[2], cs[3]);
+}

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for MLE tables, eq polynomials, gate expressions, and the symbolic
+ * expansion utility.
+ */
+#include <gtest/gtest.h>
+
+#include "poly/gate_expr.hpp"
+#include "poly/mle.hpp"
+#include "poly/sym_poly.hpp"
+#include "poly/virtual_poly.hpp"
+
+using namespace zkphire::poly;
+using zkphire::ff::Fr;
+using zkphire::ff::Rng;
+
+TEST(Mle, ConstructionAndIndexing)
+{
+    Mle m(3);
+    EXPECT_EQ(m.numVars(), 3u);
+    EXPECT_EQ(m.size(), 8u);
+    m[5] = Fr::fromU64(99);
+    EXPECT_EQ(m[5], Fr::fromU64(99));
+    EXPECT_EQ(Mle::constant(2, Fr::fromU64(4)).sumOverHypercube(),
+              Fr::fromU64(16));
+}
+
+TEST(Mle, EvaluateOnHypercubeVerticesMatchesTable)
+{
+    Rng rng(3);
+    Mle m = Mle::random(4, rng);
+    for (std::size_t idx = 0; idx < m.size(); ++idx) {
+        std::vector<Fr> point(4);
+        for (unsigned b = 0; b < 4; ++b)
+            point[b] = (idx >> b) & 1 ? Fr::one() : Fr::zero();
+        EXPECT_EQ(m.evaluate(point), m[idx]) << "index " << idx;
+    }
+}
+
+TEST(Mle, FixFirstVarIsMultilinearInterpolation)
+{
+    Rng rng(4);
+    Mle m = Mle::random(3, rng);
+    Fr r = Fr::random(rng);
+    Mle folded = m.fixFirstVar(r);
+    EXPECT_EQ(folded.numVars(), 2u);
+    for (std::size_t j = 0; j < folded.size(); ++j) {
+        Fr lo = m[2 * j], hi = m[2 * j + 1];
+        EXPECT_EQ(folded[j], lo + r * (hi - lo));
+    }
+    // Folding at 0/1 selects even/odd entries.
+    Mle at0 = m.fixFirstVar(Fr::zero());
+    Mle at1 = m.fixFirstVar(Fr::one());
+    for (std::size_t j = 0; j < at0.size(); ++j) {
+        EXPECT_EQ(at0[j], m[2 * j]);
+        EXPECT_EQ(at1[j], m[2 * j + 1]);
+    }
+}
+
+TEST(Mle, EvaluateAgreesWithIteratedFold)
+{
+    Rng rng(5);
+    Mle m = Mle::random(5, rng);
+    std::vector<Fr> pt;
+    for (int i = 0; i < 5; ++i)
+        pt.push_back(Fr::random(rng));
+    Mle tmp = m;
+    for (const Fr &r : pt)
+        tmp.fixFirstVarInPlace(r);
+    EXPECT_EQ(m.evaluate(pt), tmp[0]);
+}
+
+TEST(Mle, EqTableMatchesEqEval)
+{
+    Rng rng(6);
+    std::vector<Fr> r{Fr::random(rng), Fr::random(rng), Fr::random(rng)};
+    Mle eq = Mle::eqTable(r);
+    EXPECT_EQ(eq.numVars(), 3u);
+    for (std::size_t idx = 0; idx < eq.size(); ++idx) {
+        std::vector<Fr> x(3);
+        for (unsigned b = 0; b < 3; ++b)
+            x[b] = (idx >> b) & 1 ? Fr::one() : Fr::zero();
+        EXPECT_EQ(eq[idx], eqEval(x, r)) << "index " << idx;
+    }
+    // Sum of eq(x, r) over the hypercube is 1.
+    EXPECT_EQ(eq.sumOverHypercube(), Fr::one());
+    // eq evaluated at r itself vs the table's multilinear extension.
+    EXPECT_EQ(eq.evaluate(r), eqEval(r, r));
+}
+
+TEST(Mle, SparsityMeasurement)
+{
+    Rng rng(7);
+    Mle m = Mle::randomSparse(12, rng, 0.6, 0.3);
+    SparsityStats s = m.sparsity();
+    EXPECT_NEAR(s.fracZero, 0.6, 0.05);
+    EXPECT_NEAR(s.fracOne, 0.3, 0.05);
+    EXPECT_NEAR(s.fracDense(), 0.1, 0.05);
+}
+
+TEST(GateExpr, BuildAndEvaluate)
+{
+    GateExpr e("f");
+    SlotId a = e.addSlot("a");
+    SlotId b = e.addSlot("b");
+    SlotId c = e.addSlot("c");
+    e.addTerm({a, b});                       // a*b
+    e.addTerm(Fr::fromI64(-1), {c});         // -c
+    e.addTerm(Fr::fromU64(5), {a, a, a});    // 5a^3
+    EXPECT_EQ(e.degree(), 3u);
+    EXPECT_EQ(e.numTerms(), 3u);
+    EXPECT_EQ(e.uniqueSlotsInTerm(2), 1u);
+    std::vector<Fr> vals{Fr::fromU64(2), Fr::fromU64(3), Fr::fromU64(4)};
+    // 2*3 - 4 + 5*8 = 42
+    EXPECT_EQ(e.evaluate(vals), Fr::fromU64(42));
+}
+
+TEST(GateExpr, MultipliedBySlotRaisesDegree)
+{
+    GateExpr e("f");
+    SlotId a = e.addSlot("a");
+    e.addTerm({a});
+    SlotId fr_slot = 0;
+    GateExpr masked = e.multipliedBySlot("f_r", &fr_slot);
+    EXPECT_EQ(masked.numSlots(), 2u);
+    EXPECT_EQ(masked.degree(), 2u);
+    EXPECT_EQ(fr_slot, 1u);
+    std::vector<Fr> vals{Fr::fromU64(3), Fr::fromU64(7)};
+    EXPECT_EQ(masked.evaluate(vals), Fr::fromU64(21));
+}
+
+TEST(GateExpr, MulsPerPoint)
+{
+    GateExpr e("f");
+    SlotId a = e.addSlot("a");
+    SlotId b = e.addSlot("b");
+    e.addTerm({a, b, b});                 // 2 muls
+    e.addTerm(Fr::fromU64(3), {a});       // 1 mul (coeff)
+    e.addTerm({b});                       // 0 muls
+    EXPECT_EQ(e.mulsPerPoint(), 3u);
+}
+
+TEST(SymPoly, SquareExpansion)
+{
+    GateExpr e("g");
+    SlotId a = e.addSlot("a");
+    SlotId b = e.addSlot("b");
+    // (a - b)^2 = a^2 - 2ab + b^2 : 3 monomials.
+    SymPoly p = (SymPoly::var(a) - SymPoly::var(b)).pow(2);
+    EXPECT_EQ(p.numMonomials(), 3u);
+    p.addTo(e);
+    std::vector<Fr> vals{Fr::fromU64(7), Fr::fromU64(3)};
+    EXPECT_EQ(e.evaluate(vals), Fr::fromU64(16));
+}
+
+TEST(SymPoly, CancellationDropsMonomials)
+{
+    GateExpr e("g");
+    SlotId a = e.addSlot("a");
+    // (a + 1)(a - 1) - a^2 = -1.
+    SymPoly p = (SymPoly::var(a) + SymPoly::constant(1)) *
+                    (SymPoly::var(a) - SymPoly::constant(1)) -
+                SymPoly::var(a) * SymPoly::var(a);
+    EXPECT_EQ(p.numMonomials(), 1u);
+    p.addTo(e);
+    std::vector<Fr> vals{Fr::fromU64(100)};
+    EXPECT_EQ(e.evaluate(vals), Fr::fromI64(-1));
+}
+
+TEST(VirtualPoly, SumAndFoldConsistency)
+{
+    Rng rng(8);
+    GateExpr e("f");
+    SlotId a = e.addSlot("a");
+    SlotId b = e.addSlot("b");
+    e.addTerm({a, b});
+    std::vector<Mle> tables{Mle::random(3, rng), Mle::random(3, rng)};
+    Fr expect = Fr::zero();
+    for (std::size_t i = 0; i < 8; ++i)
+        expect += tables[0][i] * tables[1][i];
+    VirtualPoly vp(e, tables);
+    EXPECT_EQ(vp.sumOverHypercube(), expect);
+
+    // Folding commutes with evaluation.
+    Fr r = Fr::random(rng);
+    std::vector<Fr> rest{Fr::random(rng), Fr::random(rng)};
+    std::vector<Fr> full{r, rest[0], rest[1]};
+    Fr direct = vp.evaluate(full);
+    vp.fixFirstVarInPlace(r);
+    EXPECT_EQ(vp.evaluate(rest), direct);
+}

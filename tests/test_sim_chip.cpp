@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Full-chip model tests: Table V area/power anchors, protocol scaling,
+ * Masked-ZeroCheck behaviour, Jellyfish-vs-Vanilla advantage, DSE Pareto
+ * properties, and baseline model sanity.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/baseline.hpp"
+#include "sim/chip.hpp"
+#include "sim/dse.hpp"
+#include "sim/workloads.hpp"
+
+using namespace zkphire;
+using namespace zkphire::sim;
+
+TEST(Chip, ExemplarMatchesTableV)
+{
+    ChipConfig cfg = ChipConfig::exemplar();
+    AreaBreakdown a = cfg.areaBreakdown();
+    // Paper Table V: total 294.32 mm^2; module-level within 10%.
+    EXPECT_NEAR(a.total(), 294.32, 15.0);
+    EXPECT_NEAR(a.msm, 105.69, 11.0);
+    EXPECT_NEAR(a.forest, 48.18, 5.0);
+    EXPECT_NEAR(a.sumcheck, 16.65, 2.0);
+    EXPECT_NEAR(a.sram, 27.55, 4.0);
+    EXPECT_NEAR(a.hbmPhy, 59.20, 0.1);
+
+    PowerBreakdown p = cfg.powerBreakdown();
+    EXPECT_NEAR(p.total(), 202.28, 10.0);
+}
+
+TEST(Chip, FixedPrimeSavesArea)
+{
+    ChipConfig fixed = ChipConfig::exemplar();
+    ChipConfig arb = ChipConfig::exemplar();
+    arb.setFixedPrime(false);
+    // Paper §V: fixed primes save ~50% of multiplier area (~2x density).
+    double fixed_compute = fixed.areaBreakdown().compute();
+    double arb_compute = arb.areaBreakdown().compute();
+    EXPECT_GT(arb_compute / fixed_compute, 1.5);
+}
+
+TEST(Chip, ProtocolScalesNearLinearly)
+{
+    ChipConfig cfg = ChipConfig::exemplar();
+    double t19 = simulateProtocol(cfg, ProtocolWorkload::jellyfish(19))
+                     .totalMs;
+    double t22 = simulateProtocol(cfg, ProtocolWorkload::jellyfish(22))
+                     .totalMs;
+    EXPECT_GT(t22 / t19, 5.5);
+    EXPECT_LT(t22 / t19, 9.0);
+}
+
+TEST(Chip, MaskingHidesGateZeroCheck)
+{
+    ChipConfig masked = ChipConfig::exemplar();
+    ChipConfig unmasked = ChipConfig::exemplar();
+    unmasked.maskZeroCheck = false;
+    auto wl = ProtocolWorkload::jellyfish(20);
+    auto m = simulateProtocol(masked, wl);
+    auto u = simulateProtocol(unmasked, wl);
+    EXPECT_LT(m.totalMs, u.totalMs);
+    EXPECT_GT(m.maskedSavingMs, 0);
+    EXPECT_EQ(u.maskedSavingMs, 0);
+    // Saving is bounded by the gate ZeroCheck itself.
+    EXPECT_LE(m.maskedSavingMs, m.steps.gateZeroCheck + 1e-9);
+}
+
+TEST(Chip, JellyfishBeatsVanillaAtIsoApplication)
+{
+    // Table VIII: a 2^24 Vanilla workload mapping to 2^19 Jellyfish gates
+    // proves much faster despite the higher-degree polynomial.
+    ChipConfig cfg = ChipConfig::exemplar();
+    double vanilla =
+        simulateProtocol(cfg, ProtocolWorkload::vanilla(24)).totalMs;
+    double jelly =
+        simulateProtocol(cfg, ProtocolWorkload::jellyfish(19)).totalMs;
+    EXPECT_GT(vanilla / jelly, 10.0);
+}
+
+TEST(Chip, ZkSpeedBaselineRunsVanilla)
+{
+    ChipConfig zk = ChipConfig::exemplar();
+    zk.zkSpeedBaseline = true;
+    zk.maskZeroCheck = false;
+    zk.setFixedPrime(false);
+    auto run = simulateProtocol(zk, ProtocolWorkload::vanilla(20));
+    EXPECT_GT(run.totalMs, 0);
+    // zkSpeed (no update fusion) is slower than zkSpeed+ (with fusion).
+    ChipConfig zk_base = zk;
+    zk_base.zkSpeedPlusUpdates = false;
+    auto base = simulateProtocol(zk_base, ProtocolWorkload::vanilla(20));
+    EXPECT_GT(base.totalMs, run.totalMs);
+}
+
+TEST(Chip, ProofSizeSmallAndGrowsWithMu)
+{
+    double v24 = estimateProofBytes(GateSystem::Vanilla, 24);
+    double j19 = estimateProofBytes(GateSystem::Jellyfish, 19);
+    EXPECT_LT(v24, 32 * 1024);
+    EXPECT_GT(v24, 2 * 1024);
+    EXPECT_LT(j19, v24 * 2);
+    EXPECT_GT(estimateProofBytes(GateSystem::Vanilla, 30), v24);
+}
+
+TEST(Chip, SpeedupOverCpuInPaperBand)
+{
+    // Table VII: geomean 1486x over 32-thread CPU at iso-CPU area. Our
+    // model-vs-model speedups should land in the same order of magnitude.
+    ChipConfig cfg = ChipConfig::exemplar();
+    CpuModel cpu;
+    cpu.threads = 32;
+    double chip =
+        simulateProtocol(cfg, ProtocolWorkload::jellyfish(19)).totalMs;
+    double host = cpu.protocolMs(ProtocolWorkload::jellyfish(19));
+    double speedup = host / chip;
+    EXPECT_GT(speedup, 500.0);
+    EXPECT_LT(speedup, 5000.0);
+}
+
+TEST(Baseline, CpuAnchorsWithinBand)
+{
+    // Table II anchors (4-thread): model within 30%.
+    CpuModel cpu4;
+    cpu4.threads = 4;
+    PolyShape p22 = PolyShape::fromGate(gates::tableIGate(22));
+    double ms = cpu4.sumcheckMs(p22, 24);
+    EXPECT_NEAR(ms / 74226.0, 1.0, 0.3);
+    PolyShape p1 = PolyShape::fromGate(gates::tableIGate(1));
+    EXPECT_NEAR(cpu4.sumcheckMs(p1, 24) / 6770.0, 1.0, 0.3);
+}
+
+TEST(Baseline, CpuProtocolAnchorsWithinBand)
+{
+    CpuModel cpu32;
+    for (const Workload &w : paperWorkloads()) {
+        if (w.muJellyfish > 0 && w.cpuMsJellyfish > 0 &&
+            w.muJellyfish >= 17) {
+            double ms = cpu32.protocolMs(
+                ProtocolWorkload::jellyfish(unsigned(w.muJellyfish)));
+            EXPECT_NEAR(ms / w.cpuMsJellyfish, 1.0, 0.45) << w.name;
+        }
+    }
+}
+
+TEST(Baseline, GpuRestrictionAndAnchors)
+{
+    GpuModel gpu;
+    EXPECT_TRUE(gpu.supports(PolyShape::fromGate(gates::tableIGate(1))));
+    // Rows 21-24 exceed ICICLE's 8 unique-MLE limit.
+    EXPECT_FALSE(gpu.supports(PolyShape::fromGate(gates::tableIGate(21))));
+    EXPECT_FALSE(gpu.supports(PolyShape::fromGate(gates::tableIGate(22))));
+    EXPECT_FALSE(gpu.supports(PolyShape::fromGate(gates::tableIGate(24))));
+    double ms =
+        gpu.sumcheckMs(PolyShape::fromGate(gates::tableIGate(1)), 24);
+    EXPECT_NEAR(ms / 571.0, 1.0, 0.25);
+}
+
+TEST(Dse, ParetoFilterKeepsNonDominated)
+{
+    std::vector<DsePoint> pts(4);
+    pts[0].runtimeMs = 10;
+    pts[0].areaMm2 = 100;
+    pts[1].runtimeMs = 20;
+    pts[1].areaMm2 = 50;
+    pts[2].runtimeMs = 15;
+    pts[2].areaMm2 = 120; // dominated by pts[0]
+    pts[3].runtimeMs = 5;
+    pts[3].areaMm2 = 300;
+    auto pareto = paretoFilter(pts);
+    ASSERT_EQ(pareto.size(), 3u);
+    EXPECT_EQ(pareto[0].runtimeMs, 5);
+    EXPECT_EQ(pareto[1].runtimeMs, 10);
+    EXPECT_EQ(pareto[2].runtimeMs, 20);
+}
+
+TEST(Dse, CoarseSweepProducesFrontiers)
+{
+    DseResult res = runDse(ProtocolWorkload::jellyfish(19),
+                           DseGrid::coarse(), 8);
+    EXPECT_GT(res.evaluatedPoints, 100u);
+    EXPECT_FALSE(res.globalPareto.empty());
+    // Frontier is sorted and strictly improving in area.
+    for (std::size_t i = 1; i < res.globalPareto.size(); ++i) {
+        EXPECT_GE(res.globalPareto[i].runtimeMs,
+                  res.globalPareto[i - 1].runtimeMs);
+        EXPECT_LT(res.globalPareto[i].areaMm2,
+                  res.globalPareto[i - 1].areaMm2);
+    }
+    // Higher bandwidth tiers reach lower best-runtimes.
+    double best_lo = res.perBandwidth.front().second.front().runtimeMs;
+    double best_hi = res.perBandwidth.back().second.front().runtimeMs;
+    EXPECT_LT(best_hi, best_lo);
+}
+
+TEST(Dse, SumcheckDesignPickRespectsAreaCap)
+{
+    std::vector<PolyShape> polys;
+    for (int id : {0, 1, 2, 6, 20})
+        polys.push_back(PolyShape::fromGate(gates::tableIGate(id)));
+    SumcheckDseOptions opts;
+    opts.numVars = 20;
+    auto pick = pickSumcheckDesign(polys, 1024, opts);
+    EXPECT_LE(pick.cfg.areaMm2(defaultTech()), opts.areaCapMm2);
+    EXPECT_EQ(pick.runtimesMs.size(), polys.size());
+    EXPECT_GT(pick.meanUtilization, 0.0);
+}

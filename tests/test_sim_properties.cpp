@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Cross-cutting property tests for the simulation layer: monotonicity of
+ * the protocol model in bandwidth and problem size, DSE grid fidelity to
+ * Table III, workload-table integrity against the paper, proof-size model
+ * monotonicity, and custom-gate protocol workloads.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "poly/virtual_poly.hpp"
+#include "sim/baseline.hpp"
+#include "sim/dse.hpp"
+#include "sim/workloads.hpp"
+#include "sumcheck/verifier.hpp"
+
+using namespace zkphire;
+using namespace zkphire::sim;
+
+TEST(ChipProperties, BandwidthMonotonicity)
+{
+    ChipConfig cfg = ChipConfig::exemplar();
+    auto wl = ProtocolWorkload::jellyfish(20);
+    double prev = 1e300;
+    for (double bw : {64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0}) {
+        cfg.bandwidthGBs = bw;
+        double t = simulateProtocol(cfg, wl).totalMs;
+        EXPECT_LE(t, prev * 1.0001) << "bw " << bw;
+        prev = t;
+    }
+}
+
+TEST(ChipProperties, SizeMonotonicity)
+{
+    ChipConfig cfg = ChipConfig::exemplar();
+    double prev = 0;
+    for (unsigned mu = 14; mu <= 26; mu += 2) {
+        double t =
+            simulateProtocol(cfg, ProtocolWorkload::jellyfish(mu)).totalMs;
+        EXPECT_GT(t, prev) << "mu " << mu;
+        prev = t;
+    }
+}
+
+TEST(ChipProperties, StepsSumToUnmaskedTotal)
+{
+    ChipConfig cfg = ChipConfig::exemplar();
+    auto run = simulateProtocol(cfg, ProtocolWorkload::vanilla(20));
+    double sum = run.steps.witnessMsm + run.steps.gateZeroCheck +
+                 run.steps.wireIdentity() + run.steps.batchEval +
+                 run.steps.polyOpen();
+    EXPECT_NEAR(sum, run.steps.totalUnmasked(), 1e-9);
+    EXPECT_NEAR(run.totalMs, run.steps.totalUnmasked() - run.maskedSavingMs,
+                1e-9);
+}
+
+TEST(ChipProperties, CustomGateWorkloadRuns)
+{
+    ChipConfig cfg = ChipConfig::exemplar();
+    gates::Gate gate = gates::sweepGate(10);
+    auto wl = ProtocolWorkload::custom(gate, 20, 2, 4);
+    EXPECT_EQ(wl.numWitness(), 2u);
+    EXPECT_EQ(wl.numSelectors(), 4u);
+    auto run = simulateProtocol(cfg, wl);
+    EXPECT_GT(run.totalMs, 0);
+    // Higher degree with same widths costs more SumCheck time.
+    auto wl_hi = ProtocolWorkload::custom(gates::sweepGate(25), 20, 2, 4);
+    auto run_hi = simulateProtocol(cfg, wl_hi);
+    EXPECT_GT(run_hi.steps.gateZeroCheck, run.steps.gateZeroCheck);
+    // MSM steps identical: same witness count.
+    EXPECT_NEAR(run_hi.steps.witnessMsm, run.steps.witnessMsm, 1e-9);
+    EXPECT_NEAR(run_hi.steps.openMsm, run.steps.openMsm, 1e-9);
+}
+
+TEST(ChipProperties, ForestDeratingSlowsUndersizedConfig)
+{
+    ChipConfig cfg = ChipConfig::exemplar();
+    cfg.forest.numTrees = 8; // far below the PL demand of 16x5x6 muls
+    auto slow =
+        simulateProtocol(cfg, ProtocolWorkload::jellyfish(20)).totalMs;
+    auto fast = simulateProtocol(ChipConfig::exemplar(),
+                                 ProtocolWorkload::jellyfish(20))
+                    .totalMs;
+    EXPECT_GT(slow, fast);
+}
+
+TEST(DseGridFidelity, MatchesTableIII)
+{
+    DseGrid g;
+    EXPECT_EQ(g.sumcheckPEs, (std::vector<unsigned>{1, 2, 4, 8, 16, 32}));
+    EXPECT_EQ(g.extensionEngines,
+              (std::vector<unsigned>{2, 3, 4, 5, 6, 7}));
+    EXPECT_EQ(g.productLanes, (std::vector<unsigned>{3, 4, 5, 6, 7, 8}));
+    EXPECT_EQ(g.sramBankWords.size(), 6u); // 2^10 .. 2^15
+    EXPECT_EQ(g.sramBankWords.front(), std::size_t(1) << 10);
+    EXPECT_EQ(g.sramBankWords.back(), std::size_t(1) << 15);
+    EXPECT_EQ(g.msmPEs, (std::vector<unsigned>{1, 2, 4, 8, 16, 32}));
+    EXPECT_EQ(g.msmWindows, (std::vector<unsigned>{7, 8, 9, 10}));
+    EXPECT_EQ(g.msmPointsPerPe.size(), 5u); // 1K .. 16K
+    EXPECT_EQ(g.fracMlePEs, (std::vector<unsigned>{1, 2, 3, 4}));
+    EXPECT_EQ(g.bandwidthsGBs.size(), 7u); // 64 .. 4096
+}
+
+TEST(WorkloadTable, MatchesPaperGateCounts)
+{
+    // Spot-check Table VI/VII rows.
+    const Workload &rollup25 = workloadByName("Rollup of 25 Pvt Tx");
+    EXPECT_EQ(rollup25.muVanilla, 24);
+    EXPECT_EQ(rollup25.muJellyfish, 19);
+    EXPECT_DOUBLE_EQ(rollup25.cpuMsVanilla, 145500);
+    EXPECT_DOUBLE_EQ(rollup25.cpuMsJellyfish, 6161);
+    const Workload &zcash = workloadByName("ZCash");
+    EXPECT_EQ(zcash.muVanilla, 17);
+    EXPECT_EQ(zcash.muJellyfish, 15);
+    const Workload &r1600 = workloadByName("Rollup of 1600 Pvt Tx");
+    EXPECT_EQ(r1600.muVanilla, 30);
+    EXPECT_EQ(r1600.muJellyfish, 25);
+    EXPECT_EQ(paperWorkloads().size(), 10u);
+    EXPECT_EQ(fig13Workloads().size(), 7u);
+}
+
+TEST(ProofSizeModel, MonotonicAndSuccinct)
+{
+    double prev = 0;
+    for (unsigned mu = 15; mu <= 30; ++mu) {
+        double b = estimateProofBytes(GateSystem::Jellyfish, mu);
+        EXPECT_GT(b, prev);
+        prev = b;
+    }
+    // O(mu * d) growth: doubling gates adds ~1 round, not 2x bytes.
+    double b20 = estimateProofBytes(GateSystem::Jellyfish, 20);
+    double b21 = estimateProofBytes(GateSystem::Jellyfish, 21);
+    EXPECT_LT(b21 / b20, 1.1);
+    // Succinct even at 2^30 nominal.
+    EXPECT_LT(estimateProofBytes(GateSystem::Vanilla, 30), 64 * 1024);
+}
+
+TEST(CpuModelProperties, ThreadsAndShapesScaleSanely)
+{
+    PolyShape shape = PolyShape::fromGate(gates::tableIGate(20));
+    CpuModel c4, c32;
+    c4.threads = 4;
+    c32.threads = 32;
+    EXPECT_GT(c4.sumcheckMs(shape, 22), c32.sumcheckMs(shape, 22));
+    // Doubling mu roughly doubles time.
+    double r = c32.sumcheckMs(shape, 23) / c32.sumcheckMs(shape, 22);
+    EXPECT_NEAR(r, 2.0, 0.1);
+    // Jellyfish SumCheck (deg 7, 19 slots) costs more than Vanilla (deg 4).
+    PolyShape jelly = PolyShape::fromGate(gates::tableIGate(22));
+    EXPECT_GT(c32.sumcheckMs(jelly, 22), c32.sumcheckMs(shape, 22));
+}
+
+TEST(GpuModelProperties, BandwidthBound)
+{
+    PolyShape shape = PolyShape::fromGate(gates::tableIGate(1));
+    GpuModel slow, fast;
+    fast.bandwidthGBs = 3200;
+    EXPECT_GT(slow.sumcheckMs(shape, 24), fast.sumcheckMs(shape, 24));
+}
+
+TEST(SumcheckVerifierNegative, WrongRoundCountRejected)
+{
+    ff::Rng rng(777);
+    poly::GateExpr e("f");
+    auto a = e.addSlot("a"), b = e.addSlot("b");
+    e.addTerm({a, b});
+    std::vector<poly::Mle> tables{poly::Mle::random(5, rng),
+                                  poly::Mle::random(5, rng)};
+    hash::Transcript tp("neg");
+    auto out = sumcheck::prove(poly::VirtualPoly(e, tables), tp);
+    // Drop a round.
+    out.proof.roundEvals.pop_back();
+    hash::Transcript tv("neg");
+    EXPECT_FALSE(sumcheck::verify(e, out.proof, 5, tv).ok);
+    // Wrong claimed num_vars.
+    hash::Transcript tv2("neg");
+    EXPECT_FALSE(sumcheck::verify(e, out.proof, 4, tv2).ok);
+}
+
+TEST(SumcheckVerifierNegative, WrongEvalCountRejected)
+{
+    ff::Rng rng(778);
+    poly::GateExpr e("f");
+    auto a = e.addSlot("a"), b = e.addSlot("b");
+    e.addTerm({a, b});
+    std::vector<poly::Mle> tables{poly::Mle::random(4, rng),
+                                  poly::Mle::random(4, rng)};
+    hash::Transcript tp("neg2");
+    auto out = sumcheck::prove(poly::VirtualPoly(e, tables), tp);
+    out.proof.roundEvals[2].push_back(ff::Fr::zero()); // extra evaluation
+    hash::Transcript tv("neg2");
+    EXPECT_FALSE(sumcheck::verify(e, out.proof, 4, tv).ok);
+}

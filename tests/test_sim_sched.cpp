@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Scheduler tests: the Fig. 8 node-count staircase, Tmp-buffer accounting
+ * for accumulation vs balanced-tree schedules, prefetch/first-fetch
+ * tracking, II mapping, and shape extraction from gate expressions.
+ */
+#include <gtest/gtest.h>
+
+#include "gates/gate_library.hpp"
+#include "sim/sumcheck_sched.hpp"
+
+using namespace zkphire;
+using namespace zkphire::sim;
+
+TEST(PolyShape, FromGateExtractsStructure)
+{
+    PolyShape shape = PolyShape::fromGate(gates::tableIGate(20));
+    EXPECT_EQ(shape.numSlots, 9u);
+    EXPECT_EQ(shape.numTerms(), 5u);
+    EXPECT_EQ(shape.degree(), 4u);
+    EXPECT_EQ(shape.uniqueSlots().size(), 9u);
+}
+
+TEST(PolyShape, ConstantTermsAreDropped)
+{
+    poly::GateExpr e("f");
+    auto a = e.addSlot("a");
+    e.addTerm({a});
+    e.addTerm(ff::Fr::fromU64(3), {}); // pure constant
+    PolyShape shape =
+        PolyShape::fromExpr(e, {gates::SlotRole::Witness});
+    EXPECT_EQ(shape.numTerms(), 1u);
+}
+
+TEST(PolyShape, EncodedBytesFollowRoles)
+{
+    PolyShape shape = PolyShape::fromGate(gates::tableIGate(20));
+    // Selectors are bitstreams, witnesses ~3.5 B/entry, f_r dense 32 B.
+    EXPECT_DOUBLE_EQ(shape.encodedBytes(0), 0.125);
+    EXPECT_NEAR(shape.encodedBytes(5), 3.5, 0.2);
+    EXPECT_DOUBLE_EQ(shape.encodedBytes(8), 32.0);
+}
+
+TEST(PolyShape, WithoutSlotRemovesOccurrences)
+{
+    PolyShape shape = PolyShape::fromGate(gates::tableIGate(20));
+    PolyShape no_fr = shape.withoutSlot(8);
+    EXPECT_EQ(no_fr.degree(), shape.degree() - 1);
+    EXPECT_EQ(no_fr.uniqueSlots().size(), 8u);
+}
+
+TEST(Scheduler, NodeCountStaircase)
+{
+    // Paper Fig. 8: "under 6 EEs, degree-1-6 polynomials have 1 node,
+    // degree-7-11 require 2" (degree = factor occurrences of the term).
+    for (std::size_t m = 1; m <= 6; ++m)
+        EXPECT_EQ(nodeCountForTerm(m, 6), 1u) << m;
+    for (std::size_t m = 7; m <= 11; ++m)
+        EXPECT_EQ(nodeCountForTerm(m, 6), 2u) << m;
+    for (std::size_t m = 12; m <= 16; ++m)
+        EXPECT_EQ(nodeCountForTerm(m, 6), 3u) << m;
+    // General rule for other EE counts.
+    EXPECT_EQ(nodeCountForTerm(2, 2), 1u);
+    EXPECT_EQ(nodeCountForTerm(3, 2), 2u);
+    EXPECT_EQ(nodeCountForTerm(4, 2), 3u);
+    EXPECT_EQ(nodeCountForTerm(7, 7), 1u);
+    EXPECT_EQ(nodeCountForTerm(8, 7), 2u);
+}
+
+TEST(Scheduler, InitiationInterval)
+{
+    // Fig. 3: K=5 extensions on P=3 lanes -> II=2.
+    EXPECT_EQ(Schedule::initiationInterval(5, 3), 2u);
+    EXPECT_EQ(Schedule::initiationInterval(3, 3), 1u);
+    EXPECT_EQ(Schedule::initiationInterval(8, 4), 2u);
+    EXPECT_EQ(Schedule::initiationInterval(9, 4), 3u);
+}
+
+TEST(Scheduler, AccumulationScheduleCoversAllOccurrences)
+{
+    PolyShape shape = PolyShape::fromGate(gates::tableIGate(22));
+    Schedule sched = buildSchedule(shape, 4, 5);
+    // Total occurrences across nodes == total factor occurrences.
+    std::size_t occ = 0, expect = 0;
+    for (const auto &n : sched.nodes)
+        occ += n.occurrences.size();
+    for (std::size_t t = 0; t < shape.numTerms(); ++t)
+        expect += shape.termDegree(t);
+    EXPECT_EQ(occ, expect);
+    // Node sizes respect the E / E-1 capacity rule.
+    for (const auto &n : sched.nodes) {
+        std::size_t cap = n.usesTmpIn ? 3u : 4u;
+        EXPECT_LE(n.occurrences.size(), cap);
+    }
+}
+
+TEST(Scheduler, AccumulationNeedsOneTmpBuffer)
+{
+    // Fig. 2's claim: the accumulation schedule needs a single Tmp MLE
+    // buffer regardless of degree.
+    for (unsigned d : {8u, 16u, 30u}) {
+        PolyShape shape = PolyShape::fromGate(gates::sweepGate(d));
+        Schedule acc = buildSchedule(shape, 3, 5);
+        EXPECT_EQ(acc.tmpBuffers, 1u) << "degree " << d;
+    }
+}
+
+TEST(Scheduler, BalancedTreeNeedsGrowingBuffers)
+{
+    PolyShape d8 = PolyShape::fromGate(gates::sweepGate(8));
+    PolyShape d30 = PolyShape::fromGate(gates::sweepGate(30));
+    Schedule t8 = buildSchedule(d8, 3, 5, ScheduleKind::BalancedTree);
+    Schedule t30 = buildSchedule(d30, 3, 5, ScheduleKind::BalancedTree);
+    EXPECT_GE(t8.tmpBuffers, 2u);
+    EXPECT_GT(t30.tmpBuffers, t8.tmpBuffers);
+    // Tree combines exist.
+    bool has_combine = false;
+    for (const auto &n : t30.nodes)
+        has_combine |= n.treeCombine;
+    EXPECT_TRUE(has_combine);
+}
+
+TEST(Scheduler, FirstFetchHappensOncePerSlot)
+{
+    // Slots reused across terms must be fetched only once per tile
+    // (paper §III-B scratchpad reuse).
+    poly::GateExpr e("f");
+    auto a = e.addSlot("a"), b = e.addSlot("b"), c = e.addSlot("c"),
+         g = e.addSlot("e");
+    e.addTerm({a, b, g});
+    e.addTerm({c, g});
+    e.addTerm({g, g});
+    PolyShape shape = PolyShape::fromExpr(
+        e, std::vector<gates::SlotRole>(4, gates::SlotRole::Witness));
+    Schedule sched = buildSchedule(shape, 3, 5);
+    std::size_t fetches = 0;
+    for (const auto &n : sched.nodes)
+        fetches += n.freshFetches.size();
+    EXPECT_EQ(fetches, 4u); // each of a,b,c,e exactly once
+}
+
+TEST(Scheduler, TmpChainLinksNodesOfWideTerm)
+{
+    PolyShape shape = PolyShape::fromGate(gates::sweepGate(12));
+    Schedule sched = buildSchedule(shape, 4, 5);
+    // The wide term (13 occurrences on 4 EEs -> 1 + ceil(9/3) = 4 nodes).
+    std::size_t wide_nodes = 0;
+    for (const auto &n : sched.nodes)
+        if (n.term == 2)
+            ++wide_nodes;
+    EXPECT_EQ(wide_nodes, nodeCountForTerm(13, 4));
+    // Chain structure: first node writes Tmp, middles use+write, last uses.
+    std::vector<const ScheduleNode *> chain;
+    for (const auto &n : sched.nodes)
+        if (n.term == 2)
+            chain.push_back(&n);
+    EXPECT_FALSE(chain.front()->usesTmpIn);
+    EXPECT_TRUE(chain.front()->writesTmpOut);
+    EXPECT_TRUE(chain.back()->usesTmpIn);
+    EXPECT_FALSE(chain.back()->writesTmpOut);
+}

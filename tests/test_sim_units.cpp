@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Hardware unit model tests: SumCheck unit cycle model properties
+ * (bandwidth/compute scaling, residency cutover, update fusion, sparsity
+ * traffic), MSM model, Forest, PermQuotGen (including the batched-inversion
+ * area claim), and MLE Combine.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gates/gate_library.hpp"
+#include "sim/forest.hpp"
+#include "sim/mle_combine.hpp"
+#include "sim/msm_unit.hpp"
+#include "sim/permq.hpp"
+#include "sim/sumcheck_unit.hpp"
+
+using namespace zkphire;
+using namespace zkphire::sim;
+
+namespace {
+
+SumcheckWorkload
+vanillaWorkload(unsigned mu, bool fused)
+{
+    SumcheckWorkload wl;
+    wl.shape = PolyShape::fromGate(gates::tableIGate(20));
+    wl.numVars = mu;
+    wl.fusedFrSlot = fused ? int(wl.shape.numSlots) - 1 : -1;
+    return wl;
+}
+
+} // namespace
+
+TEST(SumcheckUnit, MoreBandwidthNeverSlower)
+{
+    SumcheckUnitConfig cfg;
+    auto wl = vanillaWorkload(22, false);
+    double prev = 1e300;
+    for (double bw : {64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0}) {
+        double t = simulateSumcheck(cfg, wl, bw).cycles;
+        EXPECT_LE(t, prev) << "bw " << bw;
+        prev = t;
+    }
+}
+
+TEST(SumcheckUnit, MorePEsNeverSlowerAtHighBandwidth)
+{
+    auto wl = vanillaWorkload(22, false);
+    double prev = 1e300;
+    for (unsigned pes : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        SumcheckUnitConfig cfg;
+        cfg.numPEs = pes;
+        double t = simulateSumcheck(cfg, wl, 4096).cycles;
+        EXPECT_LE(t, prev) << "PEs " << pes;
+        prev = t;
+    }
+}
+
+TEST(SumcheckUnit, LowBandwidthIsMemoryBound)
+{
+    SumcheckUnitConfig cfg;
+    cfg.numPEs = 32;
+    auto wl = vanillaWorkload(24, false);
+    auto run = simulateSumcheck(cfg, wl, 64);
+    EXPECT_GT(run.memCycles, run.computeCycles);
+}
+
+TEST(SumcheckUnit, WorkScalesWithTableSize)
+{
+    SumcheckUnitConfig cfg;
+    auto small = simulateSumcheck(cfg, vanillaWorkload(18, false), 1024);
+    auto large = simulateSumcheck(cfg, vanillaWorkload(21, false), 1024);
+    // 8x the table should be ~8x the time (within fill/drain slack).
+    EXPECT_GT(large.cycles / small.cycles, 5.0);
+    EXPECT_LT(large.cycles / small.cycles, 10.0);
+}
+
+TEST(SumcheckUnit, ResidencyCutoverStopsTraffic)
+{
+    SumcheckUnitConfig cfg;
+    cfg.bankWords = 1 << 12;
+    auto run = simulateSumcheck(cfg, vanillaWorkload(20, false), 1024);
+    // Updated tables of length <= 4096 fit from some round onward.
+    EXPECT_LE(run.residentFromRound, 20u - 11);
+    // Traffic must be well below the no-residency bound of all rounds
+    // streaming dense tables.
+    double naive = 9.0 * std::pow(2.0, 21.0) * 32.0 * 2.0;
+    EXPECT_LT(run.trafficBytes, naive);
+}
+
+TEST(SumcheckUnit, LargerScratchpadCutsTraffic)
+{
+    auto wl = vanillaWorkload(20, false);
+    SumcheckUnitConfig small_cfg, big_cfg;
+    small_cfg.bankWords = 1 << 10;
+    big_cfg.bankWords = 1 << 15;
+    auto small = simulateSumcheck(small_cfg, wl, 512);
+    auto big = simulateSumcheck(big_cfg, wl, 512);
+    EXPECT_LT(big.trafficBytes, small.trafficBytes);
+    EXPECT_LE(big.cycles, small.cycles);
+}
+
+TEST(SumcheckUnit, FusedZeroCheckSkipsFrFetchInRound1)
+{
+    auto fused = simulateSumcheck(SumcheckUnitConfig{},
+                                  vanillaWorkload(20, true), 1024);
+    auto unfused = simulateSumcheck(SumcheckUnitConfig{},
+                                    vanillaWorkload(20, false), 1024);
+    // The fused variant writes f_r once instead of a separate O(N)
+    // precompute + read; with the Build-MLE precompute charged to the
+    // unfused flow externally, fused traffic is lower by ~N reads.
+    EXPECT_LT(fused.trafficBytes, unfused.trafficBytes + 1.0);
+}
+
+TEST(SumcheckUnit, UpdateFusionHelps)
+{
+    auto wl = vanillaWorkload(20, false);
+    SumcheckUnitConfig fused_cfg, separate_cfg;
+    separate_cfg.fuseUpdates = false;
+    auto fused = simulateSumcheck(fused_cfg, wl, 2048);
+    auto separate = simulateSumcheck(separate_cfg, wl, 2048);
+    EXPECT_LT(fused.computeCycles, separate.computeCycles);
+}
+
+TEST(SumcheckUnit, GlobalScratchpadEliminatesPerRoundTraffic)
+{
+    auto wl = vanillaWorkload(20, false);
+    SumcheckUnitConfig streaming, resident;
+    resident.globalScratchpad = true;
+    auto s = simulateSumcheck(streaming, wl, 256);
+    auto r = simulateSumcheck(resident, wl, 256);
+    EXPECT_LT(r.trafficBytes, s.trafficBytes);
+}
+
+TEST(SumcheckUnit, UtilizationIsSane)
+{
+    // Paper Fig. 6 reports ~0.4-0.5 mean modmul utilization.
+    SumcheckUnitConfig cfg;
+    cfg.numPEs = 4;
+    cfg.numEEs = 2;
+    cfg.numPLs = 5;
+    for (int gate : {0, 6, 10, 20, 22}) {
+        SumcheckWorkload wl;
+        wl.shape = PolyShape::fromGate(gates::tableIGate(gate));
+        wl.numVars = 20;
+        auto run = simulateSumcheck(cfg, wl, 1024);
+        EXPECT_GT(run.utilization, 0.05) << "gate " << gate;
+        EXPECT_LT(run.utilization, 1.0) << "gate " << gate;
+    }
+}
+
+TEST(SumcheckUnit, HigherDegreeRaisesUtilization)
+{
+    // Paper §VI-A1: Jellyfish-complexity polynomials achieve comparable or
+    // higher utilization than low-degree ones on the same hardware —
+    // additional constituent polynomials and extension products place more
+    // concurrent demand on the (wide) EEs and product lanes.
+    SumcheckUnitConfig cfg;
+    cfg.numPEs = 4;
+    cfg.numEEs = 7;
+    cfg.numPLs = 5;
+    SumcheckWorkload lo, hi;
+    lo.shape = PolyShape::fromGate(gates::tableIGate(0));
+    lo.numVars = 20;
+    hi.shape = PolyShape::fromGate(gates::tableIGate(22));
+    hi.numVars = 20;
+    auto lo_run = simulateSumcheck(cfg, lo, 2048);
+    auto hi_run = simulateSumcheck(cfg, hi, 2048);
+    EXPECT_GT(hi_run.utilization, lo_run.utilization);
+}
+
+TEST(SumcheckUnit, AreaScalesWithResources)
+{
+    const Tech &tech = defaultTech();
+    SumcheckUnitConfig small_cfg, big_cfg;
+    big_cfg.numPEs = 32;
+    EXPECT_GT(big_cfg.areaMm2(tech), small_cfg.areaMm2(tech));
+    // Fixed-prime multipliers are ~half the area of arbitrary-prime.
+    SumcheckUnitConfig arb = small_cfg;
+    arb.fixedPrime = false;
+    EXPECT_GT(arb.areaMm2(tech), small_cfg.areaMm2(tech) * 1.3);
+}
+
+TEST(MsmUnit, SparseCheaperThanDense)
+{
+    MsmUnitConfig cfg;
+    double n = std::pow(2.0, 20.0);
+    auto sparse = simulateMsm(cfg, MsmWorkload::sparse(n), 1024);
+    auto dense = simulateMsm(cfg, MsmWorkload::dense(n), 1024);
+    EXPECT_LT(sparse.cycles, dense.cycles * 0.5);
+    EXPECT_LT(sparse.trafficBytes, dense.trafficBytes);
+}
+
+TEST(MsmUnit, MorePEsHelpLargeMsm)
+{
+    MsmWorkload wl = MsmWorkload::dense(std::pow(2.0, 22.0));
+    MsmUnitConfig one, many;
+    one.numPEs = 1;
+    many.numPEs = 32;
+    EXPECT_GT(simulateMsm(one, wl, 2048).cycles,
+              simulateMsm(many, wl, 2048).cycles * 8);
+}
+
+TEST(MsmUnit, WindowTradeoff)
+{
+    // Bigger windows cut bucket adds per point but raise aggregation cost;
+    // for tiny MSMs small windows win, for huge MSMs large windows win.
+    MsmUnitConfig w7, w10;
+    w7.windowBits = 7;
+    w10.windowBits = 10;
+    auto small = MsmWorkload::dense(1 << 10);
+    auto large = MsmWorkload::dense(1 << 26);
+    EXPECT_LT(simulateMsm(w7, small, 2048).cycles,
+              simulateMsm(w10, small, 2048).cycles);
+    EXPECT_GT(simulateMsm(w7, large, 2048).cycles,
+              simulateMsm(w10, large, 2048).cycles);
+}
+
+TEST(Forest, TasksScaleAndBound)
+{
+    ForestConfig cfg;
+    double t_small = simulateForest(cfg, batchEvalTask(18, 10), 1024);
+    double t_large = simulateForest(cfg, batchEvalTask(21, 10), 1024);
+    EXPECT_GT(t_large, 6 * t_small);
+    // Build and product tasks are nonzero and finite.
+    EXPECT_GT(simulateForest(cfg, buildMleTask(20), 1024), 0);
+    EXPECT_GT(simulateForest(cfg, productMleTask(20), 1024), 0);
+}
+
+TEST(PermQ, ThroughputOneElementPerCycle)
+{
+    PermQConfig cfg;
+    cfg.numPEs = 4;
+    auto run = simulatePermQ(cfg, 20, 5, 4096);
+    double n = std::pow(2.0, 20.0);
+    // ceil(5/5) = 1 generation pass; ~n cycles total at high bandwidth.
+    EXPECT_NEAR(run.cycles, n, n * 0.1);
+}
+
+TEST(PermQ, BatchedInversionAreaClaim)
+{
+    // Paper §IV-B5: 4.2x area reduction over zkSpeed's batch-64 design
+    // (evaluated with arbitrary-prime multipliers, as zkSpeed uses).
+    const Tech &tech = defaultTech();
+    PermQConfig ours, zkspeed;
+    ours.fixedPrime = false;
+    zkspeed.fixedPrime = false;
+    zkspeed.scheme = InversionScheme::ZkSpeedBatch64;
+    // Compare inversion subsystem area: strip the shared generation PEs.
+    auto inv_area = [&](const PermQConfig &c) {
+        PermQConfig no_gen = c;
+        no_gen.numPEs = 0;
+        return no_gen.areaMm2(tech);
+    };
+    double ratio = inv_area(zkspeed) / inv_area(ours);
+    EXPECT_GT(ratio, 3.0);
+    EXPECT_LT(ratio, 5.5);
+}
+
+TEST(MleCombine, ThroughputAndBandwidthBound)
+{
+    MleCombineConfig cfg;
+    double fast = simulateMleCombine(cfg, 20, 10, 4096);
+    double slow = simulateMleCombine(cfg, 20, 10, 64);
+    EXPECT_GT(slow, fast);
+    // At high bandwidth: compute-bound at numLanes muls/cycle.
+    double n = std::pow(2.0, 20.0);
+    EXPECT_NEAR(fast, n * 10 / cfg.numLanes(), n * 0.05);
+}
+
+TEST(SumcheckUnit, RoundTraceIsConsistent)
+{
+    SumcheckUnitConfig cfg;
+    auto wl = vanillaWorkload(20, false);
+    auto run = simulateSumcheck(cfg, wl, 512);
+    ASSERT_EQ(run.trace.size(), 20u);
+    double compute = 0, mem = 0, bytes = 0;
+    for (const auto &t : run.trace) {
+        compute += t.computeCycles;
+        mem += t.memCycles;
+        bytes += t.readBytes + t.writeBytes;
+    }
+    EXPECT_NEAR(compute, run.computeCycles, 1e-6);
+    EXPECT_NEAR(mem, run.memCycles, 1e-6);
+    EXPECT_NEAR(bytes, run.trafficBytes, 1e-6);
+    // Round 2 re-reads the originals and writes dense folds: the heaviest
+    // traffic of the run, memory-bound at 512 GB/s. Late rounds are
+    // resident with zero traffic.
+    EXPECT_TRUE(run.trace[1].memoryBound());
+    EXPECT_GT(run.trace[1].writeBytes, 0);
+    EXPECT_TRUE(run.trace.back().resident);
+    EXPECT_EQ(run.trace.back().readBytes, 0);
+    // Residency is monotone: once on-chip, stays on-chip.
+    bool seen_resident = false;
+    for (const auto &t : run.trace) {
+        if (seen_resident)
+            EXPECT_TRUE(t.resident) << "round " << t.round;
+        seen_resident |= t.resident;
+    }
+}

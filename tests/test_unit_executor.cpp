@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Functional-equivalence tests for the modeled SumCheck datapath: the
+ * executor (schedule + EE/PL/Tmp emulation + early-exit extrapolation)
+ * must produce byte-identical proofs to the reference prover for every
+ * polynomial and every (E, P) configuration, for both schedule kinds.
+ * This is the bridge between the performance model and real math.
+ */
+#include <gtest/gtest.h>
+
+#include "poly/sym_poly.hpp"
+#include "sim/program.hpp"
+#include "sim/unit_executor.hpp"
+#include "sumcheck/verifier.hpp"
+
+using namespace zkphire;
+using namespace zkphire::sim;
+using ff::Fr;
+using ff::Rng;
+using poly::Mle;
+using poly::VirtualPoly;
+
+namespace {
+
+void
+expectEquivalent(const gates::Gate &gate, unsigned mu, unsigned ees,
+                 unsigned pls, ScheduleKind kind, unsigned seed)
+{
+    Rng rng(seed);
+    auto tables = gate.randomTables(mu, rng);
+
+    hash::Transcript t_ref("exec-eq");
+    auto ref = sumcheck::prove(VirtualPoly(gate.expr, tables), t_ref);
+
+    hash::Transcript t_hw("exec-eq");
+    ExecutorStats stats;
+    auto hw = executeOnUnit(VirtualPoly(gate.expr, tables), ees, pls, t_hw,
+                            kind, &stats);
+
+    ASSERT_EQ(hw.proof.claimedSum, ref.proof.claimedSum);
+    ASSERT_EQ(hw.proof.roundEvals, ref.proof.roundEvals)
+        << gate.name << " E=" << ees << " P=" << pls;
+    ASSERT_EQ(hw.proof.finalSlotEvals, ref.proof.finalSlotEvals);
+    ASSERT_EQ(hw.challenges, ref.challenges);
+    EXPECT_GT(stats.products, 0u);
+    EXPECT_EQ(stats.updates,
+              gate.expr.numSlots() * ((1u << mu) - 1));
+
+    // And the standard verifier accepts the hardware-produced proof.
+    hash::Transcript t_v("exec-eq");
+    auto res = sumcheck::verify(gate.expr, hw.proof, mu, t_v);
+    EXPECT_TRUE(res.ok) << res.error;
+}
+
+} // namespace
+
+class ExecutorGates
+    : public ::testing::TestWithParam<std::tuple<int, unsigned, unsigned>>
+{
+};
+
+TEST_P(ExecutorGates, MatchesReferenceProver)
+{
+    auto [gate_id, ees, pls] = GetParam();
+    gates::Gate gate = gates::tableIGate(gate_id);
+    expectEquivalent(gate, 6, ees, pls, ScheduleKind::Accumulation,
+                     1000u + unsigned(gate_id));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableI, ExecutorGates,
+    ::testing::Values(std::tuple{0, 2u, 3u}, std::tuple{1, 3u, 5u},
+                      std::tuple{6, 2u, 4u}, std::tuple{9, 4u, 3u},
+                      std::tuple{10, 2u, 8u}, std::tuple{20, 7u, 5u},
+                      std::tuple{21, 3u, 4u}, std::tuple{22, 7u, 5u},
+                      std::tuple{22, 2u, 3u}, std::tuple{23, 5u, 6u},
+                      std::tuple{24, 6u, 5u}));
+
+class ExecutorSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ExecutorSweep, WideTermsThroughTmpChain)
+{
+    // High-degree terms force multi-node chains through the Tmp buffer.
+    unsigned d = GetParam();
+    gates::Gate gate = gates::sweepGate(d);
+    for (unsigned ees : {2u, 3u, 5u})
+        expectEquivalent(gate, 5, ees, 4, ScheduleKind::Accumulation,
+                         2000u + d + ees);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, ExecutorSweep,
+                         ::testing::Values(4u, 7u, 12u, 19u, 30u));
+
+TEST(Executor, BalancedTreeScheduleAlsoExact)
+{
+    for (unsigned d : {6u, 12u, 20u}) {
+        gates::Gate gate = gates::sweepGate(d);
+        expectEquivalent(gate, 5, 3, 5, ScheduleKind::BalancedTree,
+                         3000u + d);
+    }
+    expectEquivalent(gates::tableIGate(22), 5, 3, 5,
+                     ScheduleKind::BalancedTree, 3100);
+}
+
+TEST(Executor, HandlesCoefficientsAndConstants)
+{
+    // Expression with negative coefficients, repeated slots, and a pure
+    // constant term: 3*a^2*b - 7*c + 11.
+    poly::GateExpr e("coeffs");
+    auto a = e.addSlot("a"), b = e.addSlot("b"), c = e.addSlot("c");
+    e.addTerm(Fr::fromU64(3), {a, a, b});
+    e.addTerm(Fr::fromI64(-7), {c});
+    e.addTerm(Fr::fromU64(11), {});
+    gates::Gate g;
+    g.name = "coeffs";
+    g.expr = e;
+    g.roles.assign(3, gates::SlotRole::Dense);
+    expectEquivalent(g, 6, 2, 3, ScheduleKind::Accumulation, 4000);
+}
+
+TEST(Executor, RandomInstanceSweep)
+{
+    Rng rng(5000);
+    for (int trial = 0; trial < 8; ++trial) {
+        poly::GateExpr e("rand");
+        unsigned slots = 2 + unsigned(rng.nextBelow(6));
+        for (unsigned s = 0; s < slots; ++s)
+            e.addSlot("s" + std::to_string(s));
+        unsigned terms = 1 + unsigned(rng.nextBelow(5));
+        for (unsigned t = 0; t < terms; ++t) {
+            unsigned deg = 1 + unsigned(rng.nextBelow(9));
+            std::vector<poly::SlotId> f;
+            for (unsigned i = 0; i < deg; ++i)
+                f.push_back(poly::SlotId(rng.nextBelow(slots)));
+            e.addTerm(Fr::random(rng), std::move(f));
+        }
+        gates::Gate g;
+        g.name = "rand";
+        g.expr = e;
+        g.roles.assign(slots, gates::SlotRole::Dense);
+        unsigned ees = 2 + unsigned(rng.nextBelow(5));
+        unsigned pls = 3 + unsigned(rng.nextBelow(5));
+        expectEquivalent(g, 4, ees, pls, ScheduleKind::Accumulation,
+                         6000 + trial);
+    }
+}
+
+TEST(Program, CompileAndDisassemble)
+{
+    PolyShape shape = PolyShape::fromGate(gates::tableIGate(22));
+    Schedule sched = buildSchedule(shape, 4, 5);
+    SumcheckProgram prog = compileProgram(shape, sched);
+    EXPECT_EQ(prog.numExecOps(), sched.nodes.size());
+    EXPECT_GT(prog.sizeBytes(), 0u);
+    std::string listing = prog.disassemble();
+    EXPECT_NE(listing.find("EXEC"), std::string::npos);
+    EXPECT_NE(listing.find("PREFETCH"), std::string::npos);
+    EXPECT_NE(listing.find("HASH"), std::string::npos);
+    EXPECT_NE(listing.find("HALT"), std::string::npos);
+    // Every prefetch precedes the exec that consumes its slots; total
+    // prefetched slots == unique slots of the shape.
+    std::size_t prefetched = 0;
+    for (const auto &insn : prog.code)
+        if (insn.op == Opcode::Prefetch)
+            prefetched += insn.slots.size();
+    EXPECT_EQ(prefetched, shape.uniqueSlots().size());
+}
+
+TEST(Program, WideTermChainsMarkTmp)
+{
+    PolyShape shape = PolyShape::fromGate(gates::sweepGate(12));
+    Schedule sched = buildSchedule(shape, 4, 5);
+    SumcheckProgram prog = compileProgram(shape, sched);
+    bool saw_write = false, saw_use = false;
+    for (const auto &insn : prog.code) {
+        if (insn.op != Opcode::Exec)
+            continue;
+        saw_write |= insn.writeTmp != 0;
+        saw_use |= insn.useTmp != 0;
+        EXPECT_LE(insn.slots.size(), 4u);
+    }
+    EXPECT_TRUE(saw_write);
+    EXPECT_TRUE(saw_use);
+}
