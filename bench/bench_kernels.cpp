@@ -8,9 +8,11 @@
 #include <benchmark/benchmark.h>
 
 #include "ec/msm.hpp"
+#include "ff/batch_inverse.hpp"
 #include "gates/gate_library.hpp"
 #include "hash/keccak.hpp"
 #include "poly/virtual_poly.hpp"
+#include "rt/parallel.hpp"
 #include "sumcheck/prover.hpp"
 
 using namespace zkphire;
@@ -171,5 +173,89 @@ BENCHMARK(BM_SumcheckProver)
     ->Args({12, 20}) // Vanilla ZeroCheck polynomial
     ->Args({12, 22}) // Jellyfish ZeroCheck polynomial
     ->Args({14, 1}); // Spartan
+
+// ---------------------------------------------------------------------------
+// zkphire::rt thread-scaling benchmarks. The thread count is the benchmark
+// argument (an explicit cap, independent of ZKPHIRE_THREADS), so one run
+// reports the speedup curve of each parallelized kernel; the proof transcript
+// is bit-identical at every point of the curve (asserted in
+// tests/test_rt_equivalence.cpp).
+// ---------------------------------------------------------------------------
+
+static void
+BM_SumcheckProverThreads(benchmark::State &state)
+{
+    const unsigned mu = 14;
+    const unsigned threads = unsigned(state.range(0));
+    Rng rng(11);
+    gates::Gate gate = gates::tableIGate(20); // Vanilla ZeroCheck polynomial
+    auto tables = gate.randomTables(mu, rng);
+    for (auto _ : state) {
+        hash::Transcript tr("bench");
+        auto out =
+            sumcheck::prove(poly::VirtualPoly(gate.expr, tables), tr, threads);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations() * (1u << mu));
+}
+BENCHMARK(BM_SumcheckProverThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+static void
+BM_MsmPippengerThreads(benchmark::State &state)
+{
+    const std::size_t n = 4096;
+    const unsigned threads = unsigned(state.range(0));
+    Rng rng(12);
+    std::vector<Fr> scalars;
+    std::vector<ec::G1Affine> points;
+    ec::G1Affine base = ec::randomG1(rng);
+    for (std::size_t i = 0; i < n; ++i) {
+        scalars.push_back(Fr::random(rng));
+        points.push_back(i % 8 == 0 ? ec::randomG1(rng) : base);
+    }
+    for (auto _ : state) {
+        auto r = ec::msmPippengerParallel(scalars, points, threads);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MsmPippengerThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+static void
+BM_BatchInverseThreads(benchmark::State &state)
+{
+    const std::size_t n = std::size_t(1) << 16;
+    const unsigned threads = unsigned(state.range(0));
+    Rng rng(13);
+    std::vector<Fr> xs;
+    xs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        xs.push_back(Fr::random(rng));
+    rt::ScopedThreads scope(threads);
+    for (auto _ : state) {
+        std::vector<Fr> copy = xs;
+        ff::batchInverseInPlace(std::span<Fr>(copy));
+        benchmark::DoNotOptimize(copy);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BatchInverseThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+static void
+BM_MleFoldThreads(benchmark::State &state)
+{
+    const unsigned threads = unsigned(state.range(0));
+    Rng rng(14);
+    poly::Mle m = poly::Mle::random(18, rng);
+    Fr r = Fr::random(rng);
+    rt::ScopedThreads scope(threads);
+    for (auto _ : state) {
+        poly::Mle copy = m;
+        copy.fixFirstVarInPlace(r);
+        benchmark::DoNotOptimize(copy);
+    }
+    state.SetItemsProcessed(state.iterations() * (m.size() / 2));
+}
+BENCHMARK(BM_MleFoldThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 BENCHMARK_MAIN();

@@ -1,8 +1,9 @@
 #include "ec/msm.hpp"
 
 #include <cassert>
-#include <thread>
 #include <vector>
+
+#include "rt/parallel.hpp"
 
 namespace zkphire::ec {
 
@@ -30,6 +31,46 @@ pippengerAutoWindow(std::size_t n)
     return unsigned(c);
 }
 
+namespace {
+
+/**
+ * Bucket-accumulate and suffix-sum one c-bit window. This is the per-window
+ * body of Pippenger's loop; windows are independent, which is what the
+ * parallel path exploits (the paper's MSM unit similarly processes bucket
+ * sets in parallel PEs).
+ */
+G1Jacobian
+windowSum(std::span<const G1Affine> points,
+          std::span<const ff::BigInt<Fr::numLimbs>> bits,
+          std::span<const std::uint32_t> dense_idx, std::size_t w, unsigned c,
+          std::size_t scalar_bits, MsmStats *stats)
+{
+    const std::size_t num_buckets = (std::size_t(1) << c) - 1;
+    std::vector<G1Jacobian> buckets(num_buckets, G1Jacobian::identity());
+    const std::size_t lo = w * c;
+    const unsigned width = unsigned(std::min<std::size_t>(c, scalar_bits - lo));
+    for (std::uint32_t i : dense_idx) {
+        std::uint64_t digit = bits[i].bits(lo, width);
+        if (digit == 0)
+            continue;
+        buckets[digit - 1] = buckets[digit - 1].addMixed(points[i]);
+        if (stats)
+            ++stats->pointAdds;
+    }
+    // Suffix-sum aggregation: Sum_d d * bucket[d] with 2(B-1) adds.
+    G1Jacobian running = G1Jacobian::identity();
+    G1Jacobian sum = G1Jacobian::identity();
+    for (std::size_t b = num_buckets; b-- > 0;) {
+        running = running.add(buckets[b]);
+        sum = sum.add(running);
+        if (stats)
+            stats->pointAdds += 2;
+    }
+    return sum;
+}
+
+} // namespace
+
 G1Jacobian
 msmPippenger(std::span<const Fr> scalars, std::span<const G1Affine> points,
              unsigned window_bits, MsmStats *stats)
@@ -40,18 +81,29 @@ msmPippenger(std::span<const Fr> scalars, std::span<const G1Affine> points,
         return G1Jacobian::identity();
     const unsigned c = window_bits ? window_bits : pippengerAutoWindow(n);
 
-    // Canonical scalar bits; classify 0/1 scalars for the sparse fast path
-    // the paper's Sparse MSMs exploit (0 skipped, 1 accumulated directly).
+    // Canonical scalar bits (parallel: per-element Montgomery reductions are
+    // independent) and 0/1 classification for the sparse fast path the
+    // paper's Sparse MSMs exploit (0 skipped, 1 accumulated directly).
     std::vector<ff::BigInt<Fr::numLimbs>> bits(n);
+    std::vector<std::uint8_t> klass(n); // 0 = zero, 1 = one, 2 = dense
+    rt::parallelFor(
+        0, n,
+        [&](std::size_t i) {
+            bits[i] = scalars[i].toBig();
+            klass[i] = scalars[i].isZero() ? 0 : scalars[i].isOne() ? 1 : 2;
+        },
+        /*grain=*/0, /*minGrain=*/512);
+
+    // Serial sweep keeps the trivial accumulator's addition order (and so
+    // its exact Jacobian representation) identical at every thread count.
     G1Jacobian trivial_acc = G1Jacobian::identity();
     std::vector<std::uint32_t> dense_idx;
     dense_idx.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
-        bits[i] = scalars[i].toBig();
-        if (scalars[i].isZero()) {
+        if (klass[i] == 0) {
             if (stats)
                 ++stats->trivialScalars;
-        } else if (scalars[i].isOne()) {
+        } else if (klass[i] == 1) {
             trivial_acc = trivial_acc.addMixed(points[i]);
             if (stats) {
                 ++stats->trivialScalars;
@@ -66,11 +118,31 @@ msmPippenger(std::span<const Fr> scalars, std::span<const G1Affine> points,
 
     const std::size_t scalar_bits = Fr::modulusBits();
     const std::size_t num_windows = (scalar_bits + c - 1) / c;
-    const std::size_t num_buckets = (std::size_t(1) << c) - 1;
 
-    // Process windows from most significant down, folding with c doublings.
+    // Bucket accumulation per window, windows in parallel. Each window's sum
+    // is computed by exactly the serial per-window sequence, and the fold
+    // below replays the serial double-and-add order, so the result is
+    // bit-identical to a single-threaded run. Per-window stats are summed in
+    // window order for the same reason.
+    std::vector<G1Jacobian> sums(num_windows);
+    std::vector<MsmStats> wstats(stats ? num_windows : 0);
+    // Below ~256 dense points the per-window work is microseconds and pool
+    // dispatch would dominate (mKZG's opening loop issues many shrinking
+    // MSMs down to n = 1), so run the window loop inline.
+    rt::ScopedThreads serialSmall(dense_idx.size() < 256 ? 1u : 0u);
+    rt::parallelFor(
+        0, num_windows,
+        [&](std::size_t w) {
+            sums[w] = windowSum(points, bits, dense_idx, w, c, scalar_bits,
+                                stats ? &wstats[w] : nullptr);
+        },
+        /*grain=*/1);
+    if (stats)
+        for (const MsmStats &s : wstats)
+            stats->pointAdds += s.pointAdds;
+
+    // Fold windows from most significant down with c doublings between.
     G1Jacobian result = G1Jacobian::identity();
-    std::vector<G1Jacobian> buckets(num_buckets);
     for (std::size_t w = num_windows; w-- > 0;) {
         if (!result.isIdentity() || w + 1 != num_windows) {
             for (unsigned d = 0; d < c; ++d) {
@@ -79,29 +151,7 @@ msmPippenger(std::span<const Fr> scalars, std::span<const G1Affine> points,
                     ++stats->pointDoubles;
             }
         }
-        for (auto &b : buckets)
-            b = G1Jacobian::identity();
-        const std::size_t lo = w * c;
-        const unsigned width =
-            unsigned(std::min<std::size_t>(c, scalar_bits - lo));
-        for (std::uint32_t i : dense_idx) {
-            std::uint64_t digit = bits[i].bits(lo, width);
-            if (digit == 0)
-                continue;
-            buckets[digit - 1] = buckets[digit - 1].addMixed(points[i]);
-            if (stats)
-                ++stats->pointAdds;
-        }
-        // Suffix-sum aggregation: Sum_d d * bucket[d] with 2(B-1) adds.
-        G1Jacobian running = G1Jacobian::identity();
-        G1Jacobian window_sum = G1Jacobian::identity();
-        for (std::size_t b = num_buckets; b-- > 0;) {
-            running = running.add(buckets[b]);
-            window_sum = window_sum.add(running);
-            if (stats)
-                stats->pointAdds += 2;
-        }
-        result = result.add(window_sum);
+        result = result.add(sums[w]);
         if (stats)
             ++stats->pointAdds;
     }
@@ -114,29 +164,13 @@ msmPippengerParallel(std::span<const Fr> scalars,
                      unsigned window_bits)
 {
     assert(scalars.size() == points.size());
-    const std::size_t n = scalars.size();
-    if (threads <= 1 || n < 256)
-        return msmPippenger(scalars, points, window_bits);
-    const unsigned t = unsigned(std::min<std::size_t>(threads, n / 64));
-    std::vector<G1Jacobian> partial(t, G1Jacobian::identity());
-    std::vector<std::thread> pool;
-    pool.reserve(t);
-    for (unsigned w = 0; w < t; ++w) {
-        std::size_t begin = n * w / t;
-        std::size_t end = n * (w + 1) / t;
-        pool.emplace_back([&, w, begin, end] {
-            partial[w] = msmPippenger(scalars.subspan(begin, end - begin),
-                                      points.subspan(begin, end - begin),
-                                      window_bits);
-        });
-    }
-    for (auto &th : pool)
-        th.join();
-    G1Jacobian acc = G1Jacobian::identity();
-    for (const auto &p : partial)
-        acc = acc.add(p);
-    return acc;
+    // Window-level parallelism inside msmPippenger replaced the old
+    // split-the-points decomposition: it exposes ~num_windows-way
+    // parallelism without redundant per-slice window passes, and keeps the
+    // result bit-identical to the serial kernel. threads == 0 inherits the
+    // runtime default.
+    rt::ScopedThreads scope(threads);
+    return msmPippenger(scalars, points, window_bits);
 }
 
 } // namespace zkphire::ec
-

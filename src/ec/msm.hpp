@@ -46,10 +46,12 @@ G1Jacobian msmPippenger(std::span<const Fr> scalars,
 unsigned pippengerAutoWindow(std::size_t n);
 
 /**
- * Parallel Pippenger MSM: the point set is split across worker threads
- * (each running a full windowed pass on its slice) and the partial sums
- * are combined — the standard multicore decomposition, matching how the
- * paper's CPU baselines parallelize.
+ * Pippenger MSM with an explicit thread cap. Bucket accumulation runs
+ * window-parallel on the zkphire::rt pool (each window's bucket set is
+ * independent, mirroring the paper's parallel MSM PEs); the window fold
+ * replays the serial order, so the result is bit-identical to
+ * msmPippenger at one thread. threads == 0 inherits the runtime default
+ * (ZKPHIRE_THREADS env or hardware concurrency).
  */
 G1Jacobian msmPippengerParallel(std::span<const Fr> scalars,
                                 std::span<const G1Affine> points,

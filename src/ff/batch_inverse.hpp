@@ -9,6 +9,13 @@
  * round-robin inverse units. The functional kernel here is shared by the
  * PermCheck prover (computing phi = N/D) and by tests; the hardware cost of
  * both batching strategies is modeled in src/sim/permq.*.
+ *
+ * Large batches run the two multiplication sweeps chunk-parallel on
+ * zkphire::rt: each chunk computes local prefix products and its chunk
+ * product, the chunk products are batch-inverted serially (one true
+ * inversion total, as before), and each chunk then back-substitutes
+ * independently. Inverses are canonical field values, so the parallel path
+ * is bit-identical to the serial one.
  */
 #ifndef ZKPHIRE_FF_BATCH_INVERSE_HPP
 #define ZKPHIRE_FF_BATCH_INVERSE_HPP
@@ -18,7 +25,33 @@
 #include <span>
 #include <vector>
 
+#include "rt/parallel.hpp"
+
 namespace zkphire::ff {
+
+namespace detail {
+
+/** Serial Montgomery trick over [xs.begin, xs.end), given prefix scratch. */
+template <class F>
+void
+batchInverseSerial(std::span<F> xs, std::span<F> prefix)
+{
+    const std::size_t n = xs.size();
+    F acc = F::one();
+    for (std::size_t i = 0; i < n; ++i) {
+        assert(!xs[i].isZero() && "batch inverse of zero element");
+        prefix[i] = acc;
+        acc *= xs[i];
+    }
+    F inv = acc.inverse();
+    for (std::size_t i = n; i-- > 0;) {
+        F x_inv = inv * prefix[i];
+        inv *= xs[i];
+        xs[i] = x_inv;
+    }
+}
+
+} // namespace detail
 
 /**
  * In-place batched inversion. Every element must be nonzero.
@@ -32,19 +65,50 @@ batchInverseInPlace(std::span<F> xs)
     const std::size_t n = xs.size();
     if (n == 0)
         return;
+
+    constexpr std::size_t kMinParallel = 2048;
+    if (rt::currentThreads() <= 1 || n < kMinParallel) {
+        std::vector<F> prefix(n);
+        detail::batchInverseSerial(xs, std::span<F>(prefix));
+        return;
+    }
+
+    const std::size_t grain = rt::suggestedGrain(n, 512);
+    const std::size_t num_chunks = (n + grain - 1) / grain;
+
+    // Pass 1 (parallel): local prefix products and one product per chunk.
     std::vector<F> prefix(n);
-    F acc = F::one();
-    for (std::size_t i = 0; i < n; ++i) {
-        assert(!xs[i].isZero() && "batch inverse of zero element");
-        prefix[i] = acc;
-        acc *= xs[i];
-    }
-    F inv = acc.inverse();
-    for (std::size_t i = n; i-- > 0;) {
-        F x_inv = inv * prefix[i];
-        inv *= xs[i];
-        xs[i] = x_inv;
-    }
+    std::vector<F> chunk_prod(num_chunks);
+    rt::parallelForChunks(
+        0, n,
+        [&](std::size_t b, std::size_t e) {
+            F acc = F::one();
+            for (std::size_t i = b; i < e; ++i) {
+                assert(!xs[i].isZero() && "batch inverse of zero element");
+                prefix[i] = acc;
+                acc *= xs[i];
+            }
+            chunk_prod[b / grain] = acc;
+        },
+        grain);
+
+    // Invert the chunk products serially: still exactly one true inversion.
+    std::vector<F> chunk_scratch(num_chunks);
+    detail::batchInverseSerial(std::span<F>(chunk_prod),
+                               std::span<F>(chunk_scratch));
+
+    // Pass 2 (parallel): per-chunk back substitution from the chunk inverse.
+    rt::parallelForChunks(
+        0, n,
+        [&](std::size_t b, std::size_t e) {
+            F inv = chunk_prod[b / grain];
+            for (std::size_t i = e; i-- > b;) {
+                F x_inv = inv * prefix[i];
+                inv *= xs[i];
+                xs[i] = x_inv;
+            }
+        },
+        grain);
 }
 
 /** Batched inversion returning a new vector. */

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "hyperplonk/protocol_common.hpp"
+#include "rt/parallel.hpp"
 
 namespace zkphire::hyperplonk {
 
@@ -55,6 +56,9 @@ prove(const ProvingKey &pk, const Circuit &circuit, ProverStats *stats,
       unsigned threads)
 {
     using Clock = std::chrono::steady_clock;
+    // Pin every phase (commitment MSMs, batch inversion, eq tables,
+    // sumchecks); 0 inherits the runtime default.
+    rt::ScopedThreads scope(threads);
     assert(circuit.system() == pk.sys);
     assert(circuit.numRows() == (std::size_t(1) << pk.mu));
 

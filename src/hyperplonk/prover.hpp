@@ -72,7 +72,7 @@ struct ProverStats {
  * @param threads SumCheck prover worker threads.
  */
 HyperPlonkProof prove(const ProvingKey &pk, const Circuit &circuit,
-                      ProverStats *stats = nullptr, unsigned threads = 1);
+                      ProverStats *stats = nullptr, unsigned threads = 0);
 
 } // namespace zkphire::hyperplonk
 

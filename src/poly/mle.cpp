@@ -2,11 +2,16 @@
 
 #include <cassert>
 
+#include "rt/parallel.hpp"
+
 namespace zkphire::poly {
 
 namespace {
 
-bool
+/** Below this table size the parallel fold/sum paths are pure overhead. */
+constexpr std::size_t kParallelThreshold = 1024;
+
+[[maybe_unused]] bool
 isPowerOfTwo(std::size_t n)
 {
     return n != 0 && (n & (n - 1)) == 0;
@@ -81,11 +86,14 @@ Mle::eqTable(std::span<const Fr> r)
     for (std::size_t i = 0; i < r.size(); ++i) {
         const std::size_t half = table.size();
         std::vector<Fr> next(half * 2);
-        for (std::size_t j = 0; j < half; ++j) {
-            Fr hi = table[j] * r[i];
-            next[j] = table[j] - hi; // e*(1 - r_i)
-            next[j + half] = hi;     // e*r_i
-        }
+        rt::parallelFor(
+            0, half,
+            [&](std::size_t j) {
+                Fr hi = table[j] * r[i];
+                next[j] = table[j] - hi; // e*(1 - r_i)
+                next[j + half] = hi;     // e*r_i
+            },
+            /*grain=*/0, /*minGrain=*/kParallelThreshold);
         table = std::move(next);
     }
     return Mle(std::move(table));
@@ -96,12 +104,35 @@ Mle::fixFirstVarInPlace(const Fr &r)
 {
     assert(nVars > 0 && "cannot fold a 0-variable MLE");
     const std::size_t half = vals.size() / 2;
-    for (std::size_t j = 0; j < half; ++j) {
-        Fr lo = vals[2 * j];
-        Fr hi = vals[2 * j + 1];
-        vals[j] = lo + r * (hi - lo);
+    // Inside a pool worker the parallel branch would run inline anyway, so
+    // take the allocation-free in-place fold there too (this is what makes
+    // VirtualPoly's table-parallel fold cheap per table).
+    if (rt::currentThreads() <= 1 || rt::ThreadPool::insideWorker() ||
+        half < kParallelThreshold) {
+        // In-place is safe serially: the write at j precedes every later
+        // read, which happens at index >= 2(j+1).
+        for (std::size_t j = 0; j < half; ++j) {
+            Fr lo = vals[2 * j];
+            Fr hi = vals[2 * j + 1];
+            vals[j] = lo + r * (hi - lo);
+        }
+        vals.resize(half);
+    } else {
+        // Concurrent chunks would race on the in-place overlap (chunk k
+        // writes [b,e) while chunk k-1 still reads [2b,2e)), so the parallel
+        // path folds into a fresh buffer. Same arithmetic per index, hence
+        // bit-identical values.
+        std::vector<Fr> folded(half);
+        rt::parallelFor(
+            0, half,
+            [&](std::size_t j) {
+                Fr lo = vals[2 * j];
+                Fr hi = vals[2 * j + 1];
+                folded[j] = lo + r * (hi - lo);
+            },
+            /*grain=*/0, /*minGrain=*/256);
+        vals = std::move(folded);
     }
-    vals.resize(half);
     --nVars;
 }
 
@@ -126,10 +157,17 @@ Mle::evaluate(std::span<const Fr> point) const
 Fr
 Mle::sumOverHypercube() const
 {
-    Fr acc = Fr::zero();
-    for (const Fr &v : vals)
-        acc += v;
-    return acc;
+    // Exact modular addition: chunked partial sums equal the serial sum.
+    return rt::parallelReduce<Fr>(
+        0, vals.size(), Fr::zero(),
+        [&](std::size_t b, std::size_t e) {
+            Fr part = Fr::zero();
+            for (std::size_t i = b; i < e; ++i)
+                part += vals[i];
+            return part;
+        },
+        [](Fr acc, Fr part) { return acc + part; },
+        /*grain=*/0, /*minGrain=*/kParallelThreshold);
 }
 
 SparsityStats

@@ -1,5 +1,7 @@
 #include "poly/virtual_poly.hpp"
 
+#include "rt/parallel.hpp"
+
 namespace zkphire::poly {
 
 VirtualPoly::VirtualPoly(GateExpr expr, std::vector<Mle> mles)
@@ -9,7 +11,7 @@ VirtualPoly::VirtualPoly(GateExpr expr, std::vector<Mle> mles)
            "one MLE table required per expression slot");
     assert(!tables.empty());
     nVars = tables[0].numVars();
-    for (const Mle &m : tables)
+    for ([[maybe_unused]] const Mle &m : tables)
         assert(m.numVars() == nVars && "all slot tables must share numVars");
 }
 
@@ -34,18 +36,33 @@ VirtualPoly::evaluate(std::span<const Fr> point) const
 Fr
 VirtualPoly::sumOverHypercube() const
 {
-    Fr acc = Fr::zero();
     const std::size_t n = std::size_t(1) << nVars;
-    for (std::size_t i = 0; i < n; ++i)
-        acc += evalAtIndex(i);
-    return acc;
+    return rt::parallelReduce<Fr>(
+        0, n, Fr::zero(),
+        [&](std::size_t b, std::size_t e) {
+            // One scratch slot vector per chunk instead of per index.
+            std::vector<Fr> slot_vals(tables.size());
+            Fr part = Fr::zero();
+            for (std::size_t i = b; i < e; ++i) {
+                for (std::size_t s = 0; s < tables.size(); ++s)
+                    slot_vals[s] = tables[s][i];
+                part += structure.evaluate(slot_vals);
+            }
+            return part;
+        },
+        [](Fr acc, Fr part) { return acc + part; },
+        /*grain=*/0, /*minGrain=*/512);
 }
 
 void
 VirtualPoly::fixFirstVarInPlace(const Fr &r)
 {
-    for (Mle &m : tables)
-        m.fixFirstVarInPlace(r);
+    // Outer parallelism across slot tables; each table's own fold runs its
+    // parallel path only when reached from a serial context (nested regions
+    // execute inline), so both shapes compose without oversubscription.
+    rt::parallelFor(
+        0, tables.size(), [&](std::size_t s) { tables[s].fixFirstVarInPlace(r); },
+        /*grain=*/1);
     --nVars;
 }
 

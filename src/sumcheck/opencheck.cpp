@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "poly/virtual_poly.hpp"
+#include "rt/parallel.hpp"
 
 namespace zkphire::sumcheck {
 
@@ -48,12 +49,15 @@ OpencheckProverOutput
 proveOpen(std::vector<EvalClaim> claims, hash::Transcript &tr, unsigned threads)
 {
     assert(!claims.empty());
-    const unsigned mu = unsigned(claims[0].point.size());
+    [[maybe_unused]] const unsigned mu = unsigned(claims[0].point.size());
     const std::size_t k = claims.size();
-    for (const EvalClaim &c : claims) {
+    for ([[maybe_unused]] const EvalClaim &c : claims) {
         assert(c.point.size() == mu && "all claims must share dimensions");
         assert(c.table.numVars() == mu);
     }
+
+    // Covers the eq-table builds below as well as the inner sumcheck.
+    rt::ScopedThreads scope(threads);
 
     bindClaims(claims, tr);
     Fr eta = tr.challengeFr("oc/eta");

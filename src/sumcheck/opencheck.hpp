@@ -43,7 +43,7 @@ struct OpencheckProverOutput {
 
 /** Prove a batch of evaluation claims. All points must have equal dims. */
 OpencheckProverOutput proveOpen(std::vector<EvalClaim> claims,
-                                hash::Transcript &tr, unsigned threads = 1);
+                                hash::Transcript &tr, unsigned threads = 0);
 
 struct OpencheckVerifyResult {
     bool ok = false;

@@ -1,7 +1,8 @@
 #include "sumcheck/prover.hpp"
 
 #include <cassert>
-#include <thread>
+
+#include "rt/parallel.hpp"
 
 namespace zkphire::sumcheck {
 
@@ -68,36 +69,34 @@ accumulateRange(const VirtualPoly &vp, std::size_t begin, std::size_t end,
     }
 }
 
-/** Compute one round's evaluations, optionally multi-threaded. */
+/**
+ * Compute one round's evaluations via rt::parallelReduce over pair indices.
+ * Field addition is exact, so per-chunk accumulators summed in chunk order
+ * give the bit-identical result of the serial loop at any thread count.
+ */
 std::vector<Fr>
-roundEvaluations(const VirtualPoly &vp, std::size_t degree, unsigned threads)
+roundEvaluations(const VirtualPoly &vp, std::size_t degree)
 {
     const std::size_t half = std::size_t(1) << (vp.numVars() - 1);
     const std::size_t num_points = degree + 1;
-    if (threads <= 1 || half < 1024) {
+    if (rt::currentThreads() <= 1 || half < 1024) {
         std::vector<Fr> acc(num_points, Fr::zero());
         accumulateRange(vp, 0, half, degree, acc);
         return acc;
     }
-    const unsigned t = std::min<std::size_t>(threads, half);
-    std::vector<std::vector<Fr>> partial(
-        t, std::vector<Fr>(num_points, Fr::zero()));
-    std::vector<std::thread> workers;
-    workers.reserve(t);
-    for (unsigned w = 0; w < t; ++w) {
-        std::size_t begin = half * w / t;
-        std::size_t end = half * (w + 1) / t;
-        workers.emplace_back([&, w, begin, end] {
-            accumulateRange(vp, begin, end, degree, partial[w]);
-        });
-    }
-    for (auto &th : workers)
-        th.join();
-    std::vector<Fr> acc(num_points, Fr::zero());
-    for (const auto &p : partial)
-        for (std::size_t e = 0; e < num_points; ++e)
-            acc[e] += p[e];
-    return acc;
+    return rt::parallelReduce<std::vector<Fr>>(
+        0, half, std::vector<Fr>(num_points, Fr::zero()),
+        [&](std::size_t b, std::size_t e) {
+            std::vector<Fr> part(num_points, Fr::zero());
+            accumulateRange(vp, b, e, degree, part);
+            return part;
+        },
+        [&](std::vector<Fr> acc, std::vector<Fr> part) {
+            for (std::size_t p = 0; p < num_points; ++p)
+                acc[p] += part[p];
+            return acc;
+        },
+        /*grain=*/0, /*minGrain=*/256);
 }
 
 } // namespace
@@ -109,6 +108,10 @@ prove(VirtualPoly poly, hash::Transcript &tr, unsigned threads)
     const std::size_t degree = poly.expr().degree();
     assert(mu > 0 && degree > 0);
 
+    // threads == 0 inherits the runtime default (ZKPHIRE_THREADS / cores);
+    // an explicit value caps both the round evaluations and the MLE folds.
+    rt::ScopedThreads scope(threads);
+
     ProverOutput out;
     out.proof.roundEvals.reserve(mu);
     out.challenges.reserve(mu);
@@ -117,7 +120,7 @@ prove(VirtualPoly poly, hash::Transcript &tr, unsigned threads)
     tr.appendU64("sc/degree", degree);
 
     for (unsigned round = 0; round < mu; ++round) {
-        std::vector<Fr> evals = roundEvaluations(poly, degree, threads);
+        std::vector<Fr> evals = roundEvaluations(poly, degree);
         if (round == 0) {
             out.proof.claimedSum = evals[0] + evals[1];
             tr.appendFr("sc/claim", out.proof.claimedSum);

@@ -49,9 +49,12 @@ struct ProverOutput {
  * @param tr   Fiat-Shamir transcript shared with the verifier.
  * @param threads Worker threads for the per-round extension/product loop
  *                (the paper's CPU baselines are 4- and 32-threaded).
+ *                0 inherits the zkphire::rt default (ZKPHIRE_THREADS env or
+ *                hardware concurrency); 1 forces serial execution. The proof
+ *                transcript is bit-identical at every thread count.
  */
 ProverOutput prove(poly::VirtualPoly poly, hash::Transcript &tr,
-                   unsigned threads = 1);
+                   unsigned threads = 0);
 
 /**
  * Evaluate the univariate polynomial given by its values at 0..d at point r

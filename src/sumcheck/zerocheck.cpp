@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "poly/virtual_poly.hpp"
+#include "rt/parallel.hpp"
 
 namespace zkphire::sumcheck {
 
@@ -17,6 +18,10 @@ proveZero(const GateExpr &expr, std::vector<Mle> tables, hash::Transcript &tr,
 {
     assert(!tables.empty());
     const unsigned mu = tables[0].numVars();
+
+    // Pin the whole round (eq-table build included), not just the inner
+    // sumcheck; 0 inherits the ambient setting.
+    rt::ScopedThreads scope(threads);
 
     ZerocheckProverOutput out;
     out.rVec = tr.challengeFrVec("zc/r", mu);

@@ -44,7 +44,7 @@ struct ZerocheckProverOutput {
  */
 ZerocheckProverOutput proveZero(const poly::GateExpr &expr,
                                 std::vector<poly::Mle> tables,
-                                hash::Transcript &tr, unsigned threads = 1);
+                                hash::Transcript &tr, unsigned threads = 0);
 
 /** ZeroCheck verification result. */
 struct ZerocheckVerifyResult {
