@@ -11,6 +11,7 @@
 #include "ff/batch_inverse.hpp"
 #include "gates/gate_library.hpp"
 #include "hash/keccak.hpp"
+#include "poly/gate_plan.hpp"
 #include "poly/virtual_poly.hpp"
 #include "rt/parallel.hpp"
 #include "sumcheck/prover.hpp"
@@ -173,6 +174,70 @@ BENCHMARK(BM_SumcheckProver)
     ->Args({12, 20}) // Vanilla ZeroCheck polynomial
     ->Args({12, 22}) // Jellyfish ZeroCheck polynomial
     ->Args({14, 1}); // Spartan
+
+// ---------------------------------------------------------------------------
+// Naive-vs-plan round evaluation on degree-5+ gates with repeated factors.
+// Gate selector >= 0 is a Table I row; a negative selector -d is the masked
+// sweep gate q3*w1^(d-1)*w2*f_r — the Rescue-style x^d S-box row shape.
+// Runs single-threaded so the ratio measures the GatePlan restructuring
+// (shared powers, per-slot extension bounds), not pool scaling.
+// ---------------------------------------------------------------------------
+
+static gates::Gate
+roundEvalGate(int sel)
+{
+    if (sel >= 0)
+        return gates::tableIGate(sel);
+    gates::Gate core = gates::sweepGate(unsigned(-sel));
+    gates::Gate masked;
+    masked.name = core.name + " ZeroCheck";
+    masked.expr = core.expr.multipliedBySlot("f_r", nullptr);
+    masked.roles = std::move(core.roles);
+    masked.roles.push_back(gates::SlotRole::Dense);
+    return masked;
+}
+
+static void
+roundEvalBench(benchmark::State &state, sumcheck::EvalPath path)
+{
+    const unsigned mu = unsigned(state.range(0));
+    gates::Gate gate = roundEvalGate(int(state.range(1)));
+    Rng rng(15);
+    auto tables = gate.randomTables(mu, rng);
+    for (auto _ : state) {
+        hash::Transcript tr("bench");
+        auto out = sumcheck::prove(poly::VirtualPoly(gate.expr, tables), tr,
+                                   1, path);
+        benchmark::DoNotOptimize(out);
+    }
+    poly::GatePlan plan = poly::GatePlan::compile(gate.expr);
+    state.counters["muls_per_pair"] =
+        double(path == sumcheck::EvalPath::Plan
+                   ? plan.mulsPerPair()
+                   : plan.naiveMulsPerPair(gate.expr));
+    state.SetItemsProcessed(state.iterations() * (1u << mu));
+}
+
+static void
+BM_RoundEvalNaive(benchmark::State &state)
+{
+    roundEvalBench(state, sumcheck::EvalPath::Naive);
+}
+
+static void
+BM_RoundEvalPlan(benchmark::State &state)
+{
+    roundEvalBench(state, sumcheck::EvalPath::Plan);
+}
+
+BENCHMARK(BM_RoundEvalNaive)
+    ->Args({12, 22}) // Jellyfish ZeroCheck, degree 7
+    ->Args({12, -5}) // Rescue x^5 S-box row, degree 7
+    ->Args({12, -9});// high-degree sweep, degree 11
+BENCHMARK(BM_RoundEvalPlan)
+    ->Args({12, 22})
+    ->Args({12, -5})
+    ->Args({12, -9});
 
 // ---------------------------------------------------------------------------
 // zkphire::rt thread-scaling benchmarks. The thread count is the benchmark

@@ -1,6 +1,8 @@
 #include "gates/gate_library.hpp"
 
 #include <cassert>
+#include <map>
+#include <mutex>
 #include <stdexcept>
 
 #include "poly/sym_poly.hpp"
@@ -190,6 +192,57 @@ makeOpenCheck()
 }
 
 } // namespace
+
+namespace {
+
+std::shared_ptr<const poly::GatePlan>
+cachedPlanByKey(const std::string &key, const poly::GateExpr &expr)
+{
+    static std::mutex mu;
+    static std::map<std::string, std::shared_ptr<const poly::GatePlan>> cache;
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+    auto plan = std::make_shared<const poly::GatePlan>(
+        poly::GatePlan::compile(expr));
+    cache.emplace(key, plan);
+    return plan;
+}
+
+/** Canonical structural encoding: slot count plus every term's coefficient
+ *  and factor slot *ids* (slot names can repeat, so toString() would let
+ *  structurally different expressions collide onto one cached plan). */
+std::string
+structuralKey(const poly::GateExpr &expr)
+{
+    std::string key = std::to_string(expr.numSlots());
+    for (const poly::Term &t : expr.terms()) {
+        key += '|';
+        key += t.coeff.toHexString();
+        for (poly::SlotId f : t.factors) {
+            key += ',';
+            key += std::to_string(f);
+        }
+    }
+    return key;
+}
+
+} // namespace
+
+std::shared_ptr<const poly::GatePlan>
+cachedPlan(const poly::GateExpr &expr)
+{
+    return cachedPlanByKey(structuralKey(expr), expr);
+}
+
+std::shared_ptr<const poly::GatePlan>
+cachedMaskedPlan(const poly::GateExpr &expr)
+{
+    const std::string key = structuralKey(expr) + "*f_r";
+    poly::GateExpr masked = expr.multipliedBySlot("f_r", nullptr);
+    return cachedPlanByKey(key, masked);
+}
 
 Gate
 tableIGate(int id, const Fr &alpha)

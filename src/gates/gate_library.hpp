@@ -13,11 +13,13 @@
 #ifndef ZKPHIRE_GATES_GATE_LIBRARY_HPP
 #define ZKPHIRE_GATES_GATE_LIBRARY_HPP
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "ff/rng.hpp"
 #include "poly/gate_expr.hpp"
+#include "poly/gate_plan.hpp"
 #include "poly/mle.hpp"
 
 namespace zkphire::gates {
@@ -80,6 +82,24 @@ Gate jellyfishCoreGate();
  * [pi, p1, p2, phi, D_1..D_k, N_1..N_k]. Rows 21/23 are this times f_r.
  */
 Gate permCoreGate(unsigned num_witnesses, const Fr &alpha);
+
+/**
+ * Process-wide cache of compiled GatePlans, keyed by full expression
+ * structure (name, slot names, coefficients, terms). Thread-safe; entries
+ * live for the process. Intended for the fixed library gates the HyperPlonk
+ * prover evaluates on every proof — do NOT feed it expressions embedding
+ * per-proof challenges (e.g. permCoreGate's alpha), which would grow the
+ * cache without bound; compile those inline instead (lowering is cheap
+ * relative to one SumCheck round).
+ */
+std::shared_ptr<const poly::GatePlan> cachedPlan(const poly::GateExpr &expr);
+
+/**
+ * Cached plan for the ZeroCheck composition expr * f_r (one masking slot
+ * appended to every term) — the shape sumcheck::proveZero actually runs.
+ */
+std::shared_ptr<const poly::GatePlan>
+cachedMaskedPlan(const poly::GateExpr &expr);
 
 /**
  * The high-degree sweep family (paper §VI-A2):

@@ -89,8 +89,11 @@ prove(const ProvingKey &pk, const Circuit &circuit, ProverStats *stats,
         gate_tables.push_back(sel);
     for (const Mle &w : witness)
         gate_tables.push_back(w);
-    auto gate_out = sumcheck::proveZero(gate.expr, std::move(gate_tables),
-                                        tr, threads);
+    // The core gate is fixed per gate system, so its masked plan comes from
+    // the process-wide cache — lowered once, reused across proofs.
+    auto gate_out =
+        sumcheck::proveZero(gate.expr, std::move(gate_tables), tr, threads,
+                            gates::cachedMaskedPlan(gate.expr));
     proof.gateZC = std::move(gate_out.proof);
     const std::vector<Fr> &z_g = gate_out.challenges;
     st.gateIdentityMs = msSince(t0);
@@ -118,6 +121,9 @@ prove(const ProvingKey &pk, const Circuit &circuit, ProverStats *stats,
         perm_tables.push_back(fracs.denom[j]);
     for (unsigned j = 0; j < k; ++j)
         perm_tables.push_back(fracs.numer[j]);
+    // The PermCheck expression embeds the per-proof batching challenge
+    // alpha, so its plan is lowered inline (caching it would key on alpha
+    // and grow without bound).
     auto perm_out = sumcheck::proveZero(perm_gate.expr,
                                         std::move(perm_tables), tr, threads);
     proof.permZC = std::move(perm_out.proof);

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "rt/parallel.hpp"
+
 namespace zkphire::pcs {
 
 Commitment
@@ -23,16 +25,19 @@ open(const Srs &srs, const Mle &poly, std::span<const Fr> z,
     OpeningProof proof;
     proof.quotients.reserve(mu);
     Mle cur = poly;
+    std::vector<Fr> fold_scratch; // double buffer reused across all levels
     for (unsigned k = 0; k < mu; ++k) {
         // q_k(X_{k+1}..) = cur(1, X..) - cur(0, X..): adjacent differences.
         const std::size_t half = cur.size() / 2;
         std::vector<Fr> q(half);
-        for (std::size_t j = 0; j < half; ++j)
-            q[j] = cur[2 * j + 1] - cur[2 * j];
+        rt::parallelFor(
+            0, half,
+            [&](std::size_t j) { q[j] = cur[2 * j + 1] - cur[2 * j]; },
+            /*grain=*/0, /*minGrain=*/1024);
         G1Jacobian pi =
             ec::msmPippenger(q, bases.suffix[k + 1], 0, stats);
         proof.quotients.push_back(pi.toAffine());
-        cur.fixFirstVarInPlace(z[k]);
+        cur.fixFirstVarInPlace(z[k], fold_scratch);
     }
     return proof;
 }
@@ -65,15 +70,29 @@ batchOpen(const Srs &srs, std::span<const Mle> polys, std::span<const Fr> z,
 {
     assert(!polys.empty());
     const unsigned mu = polys[0].numVars();
-    // g = Sum_i rho^i f_i.
-    Mle g(mu);
+    // g = Sum_i rho^i f_i, combined entry-parallel: each chunk walks the
+    // opened polynomials in claim order, so every entry sees the exact
+    // serial accumulation sequence (bit-identical at any thread count)
+    // while the chunks — the per-opening work — run concurrently.
+    std::vector<Fr> powers(polys.size());
     Fr coeff = Fr::one();
-    for (const Mle &f : polys) {
-        assert(f.numVars() == mu);
-        for (std::size_t j = 0; j < g.size(); ++j)
-            g[j] += coeff * f[j];
+    for (std::size_t i = 0; i < polys.size(); ++i) {
+        assert(polys[i].numVars() == mu);
+        powers[i] = coeff;
         coeff *= rho;
     }
+    Mle g(mu);
+    rt::parallelForChunks(
+        0, g.size(),
+        [&](std::size_t b, std::size_t e) {
+            for (std::size_t i = 0; i < polys.size(); ++i) {
+                const Mle &f = polys[i];
+                const Fr c = powers[i];
+                for (std::size_t j = b; j < e; ++j)
+                    g[j] += c * f[j];
+            }
+        },
+        /*grain=*/0, /*minGrain=*/1024);
     return open(srs, g, z, stats);
 }
 

@@ -102,6 +102,13 @@ Mle::eqTable(std::span<const Fr> r)
 void
 Mle::fixFirstVarInPlace(const Fr &r)
 {
+    std::vector<Fr> scratch;
+    fixFirstVarInPlace(r, scratch);
+}
+
+void
+Mle::fixFirstVarInPlace(const Fr &r, std::vector<Fr> &scratch)
+{
     assert(nVars > 0 && "cannot fold a 0-variable MLE");
     const std::size_t half = vals.size() / 2;
     // Inside a pool worker the parallel branch would run inline anyway, so
@@ -120,18 +127,20 @@ Mle::fixFirstVarInPlace(const Fr &r)
     } else {
         // Concurrent chunks would race on the in-place overlap (chunk k
         // writes [b,e) while chunk k-1 still reads [2b,2e)), so the parallel
-        // path folds into a fresh buffer. Same arithmetic per index, hence
-        // bit-identical values.
-        std::vector<Fr> folded(half);
+        // path folds into the scratch buffer and swaps: after the swap the
+        // old table becomes the next round's scratch, so repeated folds
+        // alternate between two buffers instead of allocating. Same
+        // arithmetic per index, hence bit-identical values.
+        scratch.resize(half);
         rt::parallelFor(
             0, half,
             [&](std::size_t j) {
                 Fr lo = vals[2 * j];
                 Fr hi = vals[2 * j + 1];
-                folded[j] = lo + r * (hi - lo);
+                scratch[j] = lo + r * (hi - lo);
             },
             /*grain=*/0, /*minGrain=*/256);
-        vals = std::move(folded);
+        vals.swap(scratch);
     }
     --nVars;
 }

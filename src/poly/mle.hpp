@@ -82,6 +82,17 @@ class Mle
      */
     void fixFirstVarInPlace(const Fr &r);
 
+    /**
+     * MLE Update with a caller-owned double buffer. The parallel fold path
+     * cannot run in place (concurrent chunks would overlap reads and
+     * writes), so it folds into `scratch` and swaps — across SumCheck
+     * rounds the two buffers alternate and no per-round allocation happens
+     * once `scratch` has the table's capacity. The serial path folds in
+     * place and leaves `scratch` untouched. Values are bit-identical to the
+     * scratch-less overload.
+     */
+    void fixFirstVarInPlace(const Fr &r, std::vector<Fr> &scratch);
+
     /** Non-destructive MLE Update. */
     Mle fixFirstVar(const Fr &r) const;
 

@@ -5,11 +5,26 @@
 namespace zkphire::poly {
 
 VirtualPoly::VirtualPoly(GateExpr expr, std::vector<Mle> mles)
-    : structure(std::move(expr)), tables(std::move(mles))
+    : VirtualPoly(std::move(expr), std::move(mles), nullptr)
+{
+}
+
+VirtualPoly::VirtualPoly(GateExpr expr, std::vector<Mle> mles,
+                         std::shared_ptr<const GatePlan> plan)
+    : structure(std::move(expr)), evalPlan(std::move(plan)),
+      tables(std::move(mles))
 {
     assert(tables.size() == structure.numSlots() &&
            "one MLE table required per expression slot");
     assert(!tables.empty());
+    if (!evalPlan)
+        evalPlan = std::make_shared<const GatePlan>(
+            GatePlan::compile(structure));
+    assert(evalPlan->numSlots() == structure.numSlots() &&
+           "precompiled plan does not match the expression");
+    assert(evalPlan->numTerms() == structure.numTerms() &&
+           "precompiled plan does not match the expression");
+    foldScratch.resize(tables.size());
     nVars = tables[0].numVars();
     for ([[maybe_unused]] const Mle &m : tables)
         assert(m.numVars() == nVars && "all slot tables must share numVars");
@@ -21,7 +36,7 @@ VirtualPoly::evalAtIndex(std::size_t idx) const
     std::vector<Fr> slot_vals(tables.size());
     for (std::size_t s = 0; s < tables.size(); ++s)
         slot_vals[s] = tables[s][idx];
-    return structure.evaluate(slot_vals);
+    return evalPlan->evaluate(slot_vals);
 }
 
 Fr
@@ -30,7 +45,7 @@ VirtualPoly::evaluate(std::span<const Fr> point) const
     std::vector<Fr> slot_vals(tables.size());
     for (std::size_t s = 0; s < tables.size(); ++s)
         slot_vals[s] = tables[s].evaluate(point);
-    return structure.evaluate(slot_vals);
+    return evalPlan->evaluate(slot_vals);
 }
 
 Fr
@@ -40,13 +55,15 @@ VirtualPoly::sumOverHypercube() const
     return rt::parallelReduce<Fr>(
         0, n, Fr::zero(),
         [&](std::size_t b, std::size_t e) {
-            // One scratch slot vector per chunk instead of per index.
+            // One scratch slot/register vector per chunk instead of per
+            // index.
             std::vector<Fr> slot_vals(tables.size());
+            std::vector<Fr> regs;
             Fr part = Fr::zero();
             for (std::size_t i = b; i < e; ++i) {
                 for (std::size_t s = 0; s < tables.size(); ++s)
                     slot_vals[s] = tables[s][i];
-                part += structure.evaluate(slot_vals);
+                part += evalPlan->evaluate(slot_vals, regs);
             }
             return part;
         },
@@ -60,8 +77,13 @@ VirtualPoly::fixFirstVarInPlace(const Fr &r)
     // Outer parallelism across slot tables; each table's own fold runs its
     // parallel path only when reached from a serial context (nested regions
     // execute inline), so both shapes compose without oversubscription.
+    // Each table owns a persistent double buffer, so folds that do take the
+    // out-of-place path stop allocating after the first round.
     rt::parallelFor(
-        0, tables.size(), [&](std::size_t s) { tables[s].fixFirstVarInPlace(r); },
+        0, tables.size(),
+        [&](std::size_t s) {
+            tables[s].fixFirstVarInPlace(r, foldScratch[s]);
+        },
         /*grain=*/1);
     --nVars;
 }

@@ -6,15 +6,23 @@
  * the constituent polynomials and their composition structure, perform
  * SumCheck over the composition". The prover folds all bound tables in
  * lockstep each round.
+ *
+ * Every VirtualPoly carries a compiled GatePlan (either lowered at
+ * construction or supplied precompiled from a cache); all evaluation entry
+ * points run on the plan, which is bit-identical to walking the GateExpr
+ * term list but reuses shared sub-products and honors per-slot extension
+ * bounds.
  */
 #ifndef ZKPHIRE_POLY_VIRTUAL_POLY_HPP
 #define ZKPHIRE_POLY_VIRTUAL_POLY_HPP
 
 #include <cassert>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "poly/gate_expr.hpp"
+#include "poly/gate_plan.hpp"
 #include "poly/mle.hpp"
 
 namespace zkphire::poly {
@@ -34,12 +42,23 @@ class VirtualPoly
      */
     VirtualPoly(GateExpr expr, std::vector<Mle> mles);
 
+    /**
+     * Bind with a precompiled plan (e.g. gates::cachedPlan), skipping the
+     * lowering pass. The plan must have been compiled from an expression
+     * with identical structure.
+     */
+    VirtualPoly(GateExpr expr, std::vector<Mle> mles,
+                std::shared_ptr<const GatePlan> plan);
+
     const GateExpr &expr() const { return structure; }
+    const GatePlan &plan() const { return *evalPlan; }
+    std::shared_ptr<const GatePlan> sharedPlan() const { return evalPlan; }
     unsigned numVars() const { return nVars; }
     std::size_t numSlots() const { return tables.size(); }
 
     const Mle &table(SlotId s) const { return tables[s]; }
     Mle &table(SlotId s) { return tables[s]; }
+    std::span<const Mle> allTables() const { return tables; }
 
     /** Evaluate the composition at a hypercube index. */
     Fr evalAtIndex(std::size_t idx) const;
@@ -55,7 +74,11 @@ class VirtualPoly
 
   private:
     GateExpr structure;
+    std::shared_ptr<const GatePlan> evalPlan;
     std::vector<Mle> tables;
+    /** Per-table double buffers reused across round folds (no per-round
+     *  allocation when a fold takes the out-of-place parallel path). */
+    std::vector<std::vector<Fr>> foldScratch;
     unsigned nVars = 0;
 };
 

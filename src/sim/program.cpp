@@ -87,7 +87,9 @@ compileProgram(const PolyShape &shape, const Schedule &sched)
         ex.op = Opcode::Exec;
         ex.term = node.term;
         ex.slots = node.occurrences;
-        ex.useTmp = node.usesTmpIn || node.treeCombine;
+        // Legacy chain nodes encode 0/1; plan-derived nodes keep the full
+        // Tmp read count (tree combines read one queued intermediate).
+        ex.useTmp = std::uint8_t(node.treeCombine ? 1 : node.tmpInputs());
         ex.writeTmp = node.writesTmpOut;
         std::size_t k = shape.termDegree(node.term) + 1;
         ex.extensions = std::uint8_t(k);
@@ -95,10 +97,12 @@ compileProgram(const PolyShape &shape, const Schedule &sched)
             Schedule::initiationInterval(k, sched.numPLs));
         prog.code.push_back(std::move(ex));
     }
-    prog.code.push_back(Instruction{Opcode::Hash});
-    prog.code.push_back(Instruction{Opcode::Update});
-    prog.code.push_back(Instruction{Opcode::WriteBack});
-    prog.code.push_back(Instruction{Opcode::Halt});
+    for (Opcode op :
+         {Opcode::Hash, Opcode::Update, Opcode::WriteBack, Opcode::Halt}) {
+        Instruction ins;
+        ins.op = op;
+        prog.code.push_back(std::move(ins));
+    }
     return prog;
 }
 

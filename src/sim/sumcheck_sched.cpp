@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstddef>
 #include <set>
 
 namespace zkphire::sim {
@@ -186,6 +187,135 @@ buildSchedule(const PolyShape &shape, unsigned num_ees, unsigned num_pls,
         }
     }
     sched.tmpBuffers = max_tmp;
+    return sched;
+}
+
+std::size_t
+scheduleMulsPerPoint(const Schedule &sched)
+{
+    // Mirrors the cost model's per-node charge in simulateSumcheck:
+    // factors_in_product - 1 multiplies per evaluation point.
+    std::size_t muls = 0;
+    for (const ScheduleNode &node : sched.nodes) {
+        const std::size_t inputs = node.occurrences.size() +
+                                   node.tmpInputs() +
+                                   (node.treeCombine ? 2 : 0);
+        if (inputs >= 2)
+            muls += inputs - 1;
+    }
+    return muls;
+}
+
+Schedule
+buildScheduleFromPlan(const poly::GatePlan &plan, unsigned num_ees,
+                      unsigned num_pls)
+{
+    assert(num_ees >= 2);
+    Schedule sched;
+    sched.numEEs = num_ees;
+    sched.numPLs = num_pls;
+    sched.kind = ScheduleKind::Accumulation;
+
+    const std::span<const poly::PlanOp> ops = plan.ops();
+    // Per-register consumer bookkeeping over the op list (term accumulation
+    // reads the finished product off the lane, so it is not a Tmp consumer).
+    std::vector<std::size_t> consumers(plan.numRegs(), 0);
+    std::vector<std::ptrdiff_t> last_use(plan.numRegs(), -1);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        ++consumers[ops[i].lhs];
+        ++consumers[ops[i].rhs];
+        last_use[ops[i].lhs] = std::ptrdiff_t(i);
+        last_use[ops[i].rhs] = std::ptrdiff_t(i);
+    }
+
+    FetchTracker fetches;
+    struct Building {
+        ScheduleNode node;
+        poly::RegId chainDst = poly::kNoReg;
+        std::size_t inputs = 0;
+        std::ptrdiff_t lastOp = -1;
+        bool open = false;
+    } cur;
+    std::vector<poly::RegId> node_out; // per emitted node: its product reg
+
+    auto add_input = [&](poly::RegId r) {
+        if (plan.isSlotReg(r))
+            cur.node.occurrences.push_back(r);
+        else
+            ++cur.node.tmpIn;
+        ++cur.inputs;
+    };
+    auto close_node = [&]() {
+        if (!cur.open)
+            return;
+        cur.node.usesTmpIn = cur.node.tmpIn > 0;
+        // The node's product value must survive in a Tmp MLE whenever a
+        // later op still reads it (shared sub-product or chain overflow).
+        cur.node.writesTmpOut = last_use[cur.chainDst] > cur.lastOp;
+        cur.node.freshFetches = fetches.freshOf(cur.node.occurrences);
+        node_out.push_back(cur.chainDst);
+        sched.nodes.push_back(std::move(cur.node));
+        cur = Building{};
+    };
+
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const poly::PlanOp &op = ops[i];
+        // Extend the open node only when this op folds its product chain
+        // onward: the chain value is an operand, nothing else consumes it
+        // (a multiply-consumed intermediate must round-trip through Tmp —
+        // a node computes exactly one product of its inputs), the EE array
+        // has a free input, and the node stays term-pure.
+        const bool continues =
+            cur.open && op.term == cur.node.term &&
+            (op.lhs == cur.chainDst || op.rhs == cur.chainDst) &&
+            consumers[cur.chainDst] == 1 && cur.inputs < num_ees;
+        if (continues) {
+            add_input(op.lhs == cur.chainDst ? op.rhs : op.lhs);
+        } else {
+            close_node();
+            cur.open = true;
+            cur.node.term = op.term;
+            add_input(op.lhs);
+            add_input(op.rhs);
+        }
+        cur.chainDst = op.dst;
+        cur.lastOp = std::ptrdiff_t(i);
+    }
+    close_node();
+
+    // Peak live Tmp buffers: a writesTmpOut node creates one; it dies after
+    // the last node whose ops read it.
+    std::vector<std::size_t> op_node(ops.size());
+    {
+        // Recover the op->node mapping from node op counts (inputs - 1).
+        std::ptrdiff_t last = -1;
+        for (std::size_t node_i = 0; node_i < sched.nodes.size(); ++node_i) {
+            const ScheduleNode &node = sched.nodes[node_i];
+            const std::size_t node_ops = node.occurrences.size() +
+                                         node.tmpInputs() - 1;
+            for (std::size_t k = 0; k < node_ops; ++k)
+                op_node[std::size_t(++last)] = node_i;
+        }
+        assert(last + 1 == std::ptrdiff_t(ops.size()));
+        (void)last;
+    }
+    std::vector<std::size_t> deaths(sched.nodes.size() + 1, 0);
+    for (std::size_t node_i = 0; node_i < sched.nodes.size(); ++node_i) {
+        if (!sched.nodes[node_i].writesTmpOut)
+            continue;
+        const std::ptrdiff_t lu = last_use[node_out[node_i]];
+        assert(lu >= 0);
+        ++deaths[op_node[std::size_t(lu)] + 1]; // free after last consumer
+    }
+    std::size_t live = 0, peak = 0;
+    for (std::size_t node_i = 0; node_i < sched.nodes.size(); ++node_i) {
+        live -= deaths[node_i];
+        if (sched.nodes[node_i].writesTmpOut) {
+            ++live;
+            peak = std::max(peak, live);
+        }
+    }
+    sched.tmpBuffers = peak;
     return sched;
 }
 

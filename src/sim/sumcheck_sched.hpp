@@ -23,6 +23,7 @@
 
 #include "gates/gate_library.hpp"
 #include "poly/gate_expr.hpp"
+#include "poly/gate_plan.hpp"
 #include "poly/mle.hpp"
 
 namespace zkphire::sim {
@@ -72,8 +73,23 @@ struct ScheduleNode {
     bool usesTmpIn = false;   ///< Consumes the accumulated partial product.
     bool writesTmpOut = false;///< More nodes of this term follow.
     bool treeCombine = false; ///< Balanced-tree internal combine step.
+    /**
+     * Number of Tmp-MLE inputs this node reads. The chain schedules of
+     * buildSchedule() read at most one (usesTmpIn); plan-derived schedules
+     * (buildScheduleFromPlan) can read several — e.g. squaring a shared
+     * power reads the same Tmp buffer twice. 0 with usesTmpIn set means
+     * "exactly one" (legacy chain encoding).
+     */
+    std::uint32_t tmpIn = 0;
     /** Slots whose tiles are first fetched for this node (prefetch set). */
     std::vector<std::uint32_t> freshFetches;
+
+    /** Effective Tmp input count across both encodings. */
+    std::uint32_t
+    tmpInputs() const
+    {
+        return tmpIn > 0 ? tmpIn : (usesTmpIn ? 1u : 0u);
+    }
 };
 
 enum class ScheduleKind {
@@ -111,6 +127,41 @@ std::size_t nodeCountForTerm(std::size_t m, unsigned num_ees);
 Schedule buildSchedule(const PolyShape &shape, unsigned num_ees,
                        unsigned num_pls,
                        ScheduleKind kind = ScheduleKind::Accumulation);
+
+/**
+ * Product-lane modular multiplications the cost model charges per
+ * evaluation point: every node joins its inputs (slot occurrences + Tmp
+ * reads + tree-combine operands) with inputs-1 multiplies. For a term-chain
+ * schedule this telescopes to Sum_t (degree_t - 1) — the naive evaluator's
+ * count; for a plan-derived schedule it equals the plan's op count.
+ */
+std::size_t scheduleMulsPerPoint(const Schedule &sched);
+
+/**
+ * Derive a schedule from a compiled GatePlan — the same decomposition that
+ * drives the CPU prover's round evaluation. Every plan multiplication
+ * becomes a factor join; maximal left-fold chains are packed into nodes of
+ * at most num_ees inputs, and values that cross node boundaries (shared
+ * powers, shared sub-products, term chains wider than the EE array) travel
+ * through Tmp MLE buffers (writesTmpOut / tmpIn), exactly the scheduler's
+ * writeTmp/useTmp mechanism. By construction
+ *   scheduleMulsPerPoint(buildScheduleFromPlan(p, E, P))
+ *     == p.productMulsPerPoint(),
+ * which crossCheckPlanSchedule() asserts — one decomposition feeds both the
+ * functional prover and the hardware cost model.
+ */
+Schedule buildScheduleFromPlan(const poly::GatePlan &plan, unsigned num_ees,
+                               unsigned num_pls);
+
+/**
+ * Cross-check API: does the hardware cost model charge exactly the
+ * multiplications the compiled plan executes per evaluation point?
+ */
+inline bool
+crossCheckPlanSchedule(const poly::GatePlan &plan, const Schedule &sched)
+{
+    return plan.productMulsPerPoint() == scheduleMulsPerPoint(sched);
+}
 
 } // namespace zkphire::sim
 

@@ -112,7 +112,7 @@ simulateSumcheck(const SumcheckUnitConfig &cfg, const SumcheckWorkload &wl,
             if (!cfg.fullyUnrolled)
                 node_cycles += pe_pairs * double(ii);
             double factors_in_product =
-                double(node.occurrences.size()) + (node.usesTmpIn ? 1 : 0) +
+                double(node.occurrences.size()) + double(node.tmpInputs()) +
                 (node.treeCombine ? 2 : 0);
             if (first && fused && !node.writesTmpOut)
                 factors_in_product += 1.0; // multiply f_r into the term

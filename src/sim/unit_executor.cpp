@@ -108,6 +108,12 @@ executeOnUnit(VirtualPoly poly, unsigned num_ees, unsigned num_pls,
                             ++st.products;
                         }
                     }
+                    // This functional executor models the single-Tmp
+                    // accumulation chain; plan-derived schedules can carry
+                    // several distinct Tmp inputs per node
+                    // (buildScheduleFromPlan) and are cost-modeled only.
+                    assert(node.tmpInputs() <= 1 &&
+                           "executeSchedule supports single-Tmp chains only");
                     if (node.usesTmpIn) {
                         assert(tmp.size() == k_pts);
                         for (std::size_t k = 0; k < k_pts; ++k) {

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "ff/batch_inverse.hpp"
 #include "rt/parallel.hpp"
 
 namespace zkphire::sumcheck {
@@ -25,11 +26,13 @@ SumcheckProof::sizeBytes() const
 namespace {
 
 /**
- * Accumulate this round's s_i evaluations over pair indices [begin, end).
+ * Naive reference evaluator: accumulate this round's s_i evaluations over
+ * pair indices [begin, end) by walking the GateExpr term list.
  *
  * For each pair, every referenced slot's (lo, hi) entries are extended to
  * X = 0..D by repeated addition of (hi - lo); term products are then formed
- * at every evaluation point and accumulated.
+ * at every evaluation point and accumulated. Kept as the oracle the GatePlan
+ * path is property-tested against.
  */
 void
 accumulateRange(const VirtualPoly &vp, std::size_t begin, std::size_t end,
@@ -70,12 +73,12 @@ accumulateRange(const VirtualPoly &vp, std::size_t begin, std::size_t end,
 }
 
 /**
- * Compute one round's evaluations via rt::parallelReduce over pair indices.
+ * Naive-path round evaluations via rt::parallelReduce over pair indices.
  * Field addition is exact, so per-chunk accumulators summed in chunk order
  * give the bit-identical result of the serial loop at any thread count.
  */
 std::vector<Fr>
-roundEvaluations(const VirtualPoly &vp, std::size_t degree)
+roundEvaluationsNaive(const VirtualPoly &vp, std::size_t degree)
 {
     const std::size_t half = std::size_t(1) << (vp.numVars() - 1);
     const std::size_t num_points = degree + 1;
@@ -99,10 +102,56 @@ roundEvaluations(const VirtualPoly &vp, std::size_t degree)
         /*grain=*/0, /*minGrain=*/256);
 }
 
+/**
+ * GatePlan-path round evaluations: per-chunk flat degree-class accumulators
+ * combined in chunk order (exact addition, so bit-identical at any thread
+ * count), then one finalize extends every class to the composite-degree
+ * node range. The result equals the naive path's value for value: the plan
+ * computes the same polynomial with a different (exact) multiplication
+ * tree.
+ */
+std::vector<Fr>
+roundEvaluationsPlan(const VirtualPoly &vp)
+{
+    const poly::GatePlan &plan = vp.plan();
+    const std::size_t half = std::size_t(1) << (vp.numVars() - 1);
+    const std::size_t acc_len = plan.accSize();
+    std::vector<Fr> acc;
+    if (rt::currentThreads() <= 1 || half < 1024) {
+        acc.assign(acc_len, Fr::zero());
+        std::vector<Fr> scratch;
+        plan.accumulatePairs(vp.allTables(), 0, half, acc, scratch);
+    } else {
+        acc = rt::parallelReduce<std::vector<Fr>>(
+            0, half, std::vector<Fr>(acc_len, Fr::zero()),
+            [&](std::size_t b, std::size_t e) {
+                std::vector<Fr> part(acc_len, Fr::zero());
+                std::vector<Fr> scratch;
+                plan.accumulatePairs(vp.allTables(), b, e, part, scratch);
+                return part;
+            },
+            [&](std::vector<Fr> a, std::vector<Fr> part) {
+                for (std::size_t p = 0; p < acc_len; ++p)
+                    a[p] += part[p];
+                return a;
+            },
+            /*grain=*/0, /*minGrain=*/256);
+    }
+    return plan.finalizeRoundEvals(acc);
+}
+
+std::vector<Fr>
+roundEvaluations(const VirtualPoly &vp, std::size_t degree, EvalPath path)
+{
+    if (path == EvalPath::Plan)
+        return roundEvaluationsPlan(vp);
+    return roundEvaluationsNaive(vp, degree);
+}
+
 } // namespace
 
 ProverOutput
-prove(VirtualPoly poly, hash::Transcript &tr, unsigned threads)
+prove(VirtualPoly poly, hash::Transcript &tr, unsigned threads, EvalPath path)
 {
     const unsigned mu = poly.numVars();
     const std::size_t degree = poly.expr().degree();
@@ -120,7 +169,7 @@ prove(VirtualPoly poly, hash::Transcript &tr, unsigned threads)
     tr.appendU64("sc/degree", degree);
 
     for (unsigned round = 0; round < mu; ++round) {
-        std::vector<Fr> evals = roundEvaluations(poly, degree);
+        std::vector<Fr> evals = roundEvaluations(poly, degree, path);
         if (round == 0) {
             out.proof.claimedSum = evals[0] + evals[1];
             tr.appendFr("sc/claim", out.proof.claimedSum);
@@ -168,18 +217,23 @@ evalUnivariate(std::span<const Fr> evals, const Fr &r)
         acc *= r - Fr::fromU64(e);
     }
 
-    // denom_e = e! * (n-1-e)! * (-1)^(n-1-e)
+    // denom_e = e! * (n-1-e)! * (-1)^(n-1-e), all inverted in one
+    // Montgomery batch pass (inverses are canonical field values, so this
+    // matches per-element .inverse() bit for bit).
     std::vector<Fr> fact(n);
     fact[0] = Fr::one();
     for (std::size_t i = 1; i < n; ++i)
         fact[i] = fact[i - 1] * Fr::fromU64(i);
-    Fr result = Fr::zero();
+    std::vector<Fr> denom(n);
     for (std::size_t e = 0; e < n; ++e) {
-        Fr denom = fact[e] * fact[n - 1 - e];
+        denom[e] = fact[e] * fact[n - 1 - e];
         if ((n - 1 - e) & 1)
-            denom = denom.neg();
-        result += evals[e] * prefix[e] * suffix[e] * denom.inverse();
+            denom[e] = denom[e].neg();
     }
+    ff::batchInverseInPlace(std::span<Fr>(denom));
+    Fr result = Fr::zero();
+    for (std::size_t e = 0; e < n; ++e)
+        result += evals[e] * prefix[e] * suffix[e] * denom[e];
     return result;
 }
 

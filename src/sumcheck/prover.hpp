@@ -43,6 +43,15 @@ struct ProverOutput {
 };
 
 /**
+ * Round-evaluation strategy. Plan runs the compiled GatePlan (shared
+ * sub-products, per-slot extension bounds, degree-class accumulation);
+ * Naive walks the GateExpr term list directly. Both produce byte-identical
+ * transcripts — Naive is kept as the reference oracle for the GatePlan
+ * property tests and for A/B benchmarking, not as a production path.
+ */
+enum class EvalPath { Plan, Naive };
+
+/**
  * Run the full SumCheck prover.
  *
  * @param poly Composite polynomial (consumed: tables are folded in place).
@@ -52,9 +61,10 @@ struct ProverOutput {
  *                0 inherits the zkphire::rt default (ZKPHIRE_THREADS env or
  *                hardware concurrency); 1 forces serial execution. The proof
  *                transcript is bit-identical at every thread count.
+ * @param path  Round-evaluation strategy (transcript-identical either way).
  */
 ProverOutput prove(poly::VirtualPoly poly, hash::Transcript &tr,
-                   unsigned threads = 0);
+                   unsigned threads = 0, EvalPath path = EvalPath::Plan);
 
 /**
  * Evaluate the univariate polynomial given by its values at 0..d at point r

@@ -14,7 +14,7 @@ using poly::VirtualPoly;
 
 ZerocheckProverOutput
 proveZero(const GateExpr &expr, std::vector<Mle> tables, hash::Transcript &tr,
-          unsigned threads)
+          unsigned threads, std::shared_ptr<const poly::GatePlan> maskedPlan)
 {
     assert(!tables.empty());
     const unsigned mu = tables[0].numVars();
@@ -30,8 +30,9 @@ proveZero(const GateExpr &expr, std::vector<Mle> tables, hash::Transcript &tr,
     GateExpr masked = expr.multipliedBySlot("f_r", &fr_slot);
     tables.push_back(Mle::eqTable(out.rVec));
 
-    ProverOutput sc = prove(VirtualPoly(masked, std::move(tables)), tr,
-                            threads);
+    ProverOutput sc =
+        prove(VirtualPoly(masked, std::move(tables), std::move(maskedPlan)),
+              tr, threads);
     assert(sc.proof.claimedSum.isZero() &&
            "ZeroCheck witness does not satisfy the constraint");
     out.proof.sc = std::move(sc.proof);

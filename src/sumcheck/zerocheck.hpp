@@ -14,6 +14,7 @@
 #ifndef ZKPHIRE_SUMCHECK_ZEROCHECK_HPP
 #define ZKPHIRE_SUMCHECK_ZEROCHECK_HPP
 
+#include <memory>
 #include <vector>
 
 #include "sumcheck/prover.hpp"
@@ -41,10 +42,15 @@ struct ZerocheckProverOutput {
  * @param tables One MLE per expression slot.
  * @param tr     Fiat-Shamir transcript.
  * @param threads Prover worker threads.
+ * @param maskedPlan Optional precompiled plan for the MASKED composition
+ *                expr * f_r (e.g. gates::cachedMaskedPlan); when null the
+ *                plan is lowered here. The transcript is identical either
+ *                way.
  */
-ZerocheckProverOutput proveZero(const poly::GateExpr &expr,
-                                std::vector<poly::Mle> tables,
-                                hash::Transcript &tr, unsigned threads = 0);
+ZerocheckProverOutput
+proveZero(const poly::GateExpr &expr, std::vector<poly::Mle> tables,
+          hash::Transcript &tr, unsigned threads = 0,
+          std::shared_ptr<const poly::GatePlan> maskedPlan = nullptr);
 
 /** ZeroCheck verification result. */
 struct ZerocheckVerifyResult {
