@@ -8,9 +8,11 @@
 #include <benchmark/benchmark.h>
 
 #include "ec/msm.hpp"
+#include "engine/service.hpp"
 #include "ff/batch_inverse.hpp"
 #include "gates/gate_library.hpp"
 #include "hash/keccak.hpp"
+#include "hyperplonk/circuit.hpp"
 #include "poly/gate_plan.hpp"
 #include "poly/virtual_poly.hpp"
 #include "rt/parallel.hpp"
@@ -207,7 +209,7 @@ roundEvalBench(benchmark::State &state, sumcheck::EvalPath path)
     for (auto _ : state) {
         hash::Transcript tr("bench");
         auto out = sumcheck::prove(poly::VirtualPoly(gate.expr, tables), tr,
-                                   1, path);
+                                   rt::Config{.threads = 1}, path);
         benchmark::DoNotOptimize(out);
     }
     poly::GatePlan plan = poly::GatePlan::compile(gate.expr);
@@ -257,8 +259,8 @@ BM_SumcheckProverThreads(benchmark::State &state)
     auto tables = gate.randomTables(mu, rng);
     for (auto _ : state) {
         hash::Transcript tr("bench");
-        auto out =
-            sumcheck::prove(poly::VirtualPoly(gate.expr, tables), tr, threads);
+        auto out = sumcheck::prove(poly::VirtualPoly(gate.expr, tables), tr,
+                                   rt::Config{.threads = threads});
         benchmark::DoNotOptimize(out);
     }
     state.SetItemsProcessed(state.iterations() * (1u << mu));
@@ -279,7 +281,8 @@ BM_MsmPippengerThreads(benchmark::State &state)
         points.push_back(i % 8 == 0 ? ec::randomG1(rng) : base);
     }
     for (auto _ : state) {
-        auto r = ec::msmPippengerParallel(scalars, points, threads);
+        auto r = ec::msmPippengerParallel(scalars, points,
+                                          rt::Config{.threads = threads});
         benchmark::DoNotOptimize(r);
     }
     state.SetItemsProcessed(state.iterations() * n);
@@ -322,5 +325,55 @@ BM_MleFoldThreads(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * (m.size() / 2));
 }
 BENCHMARK(BM_MleFoldThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// End-to-end service throughput: a fixed batch of small HyperPlonk proofs
+// pushed through one engine::ProofService, with the lane count (jobs in
+// flight) as the benchmark argument. Items processed = proofs, so the
+// items-per-second counter reads directly as proofs/sec. Proofs are
+// byte-identical at every lane count; only throughput moves.
+// ---------------------------------------------------------------------------
+
+static void
+BM_ServiceThroughput(benchmark::State &state)
+{
+    const unsigned lanes = unsigned(state.range(0));
+    constexpr std::size_t kBatch = 4;
+
+    // Shared fixture: SRS, context, and preprocessed keys for kBatch small
+    // vanilla circuits (2^5 rows each). Static so the MSM-heavy setup runs
+    // once across all benchmark repetitions and lane counts.
+    static ff::Rng rng(31);
+    static pcs::Srs srs = pcs::Srs::generate(6, rng);
+    static engine::ProverContext ctx(srs);
+    static std::vector<hyperplonk::Circuit> circuits = [] {
+        std::vector<hyperplonk::Circuit> cs;
+        for (std::size_t i = 0; i < kBatch; ++i)
+            cs.push_back(hyperplonk::randomVanillaCircuit(5, rng));
+        return cs;
+    }();
+    static std::vector<const hyperplonk::Keys *> keys = [] {
+        std::vector<const hyperplonk::Keys *> ks;
+        for (const auto &c : circuits)
+            ks.push_back(&ctx.preprocess(c));
+        return ks;
+    }();
+
+    std::vector<engine::ProofRequest> requests;
+    for (std::size_t i = 0; i < kBatch; ++i)
+        requests.push_back({&keys[i]->pk, &circuits[i], nullptr});
+
+    engine::ProofService service(ctx, lanes);
+    for (auto _ : state) {
+        auto results = service.proveAll(requests);
+        for (const auto &r : results)
+            if (!r.ok)
+                state.SkipWithError(r.error.c_str());
+        benchmark::DoNotOptimize(results);
+    }
+    state.SetItemsProcessed(state.iterations() * kBatch);
+    state.counters["lane_threads"] = double(service.laneThreadBudget());
+}
+BENCHMARK(BM_ServiceThroughput)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 BENCHMARK_MAIN();

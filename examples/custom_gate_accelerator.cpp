@@ -53,7 +53,7 @@ main()
     Fr claim = vp.sumOverHypercube();
 
     hash::Transcript tp("custom-gate");
-    auto out = sumcheck::prove(poly::VirtualPoly(expr, tables), tp, 4);
+    auto out = sumcheck::prove(poly::VirtualPoly(expr, tables), tp);
     hash::Transcript tv("custom-gate");
     auto res = sumcheck::verify(expr, out.proof, mu, tv);
     std::printf("SumCheck over 2^%u gates: claim %s..., verifier %s, "

@@ -9,7 +9,7 @@
  */
 #include <cstdio>
 
-#include "hyperplonk/prover.hpp"
+#include "engine/service.hpp"
 #include "hyperplonk/verifier.hpp"
 #include "sim/chip.hpp"
 
@@ -64,15 +64,33 @@ main()
                 num_sboxes, vanilla.numRows(), jelly.numRows(),
                 double(vanilla.numRows()) / double(jelly.numRows()));
 
+    // One prover session covers both gate systems: the context preprocesses
+    // each circuit once, and a two-lane service proves them concurrently
+    // (each job gets half the thread budget; proofs are byte-identical to
+    // sequential runs).
     pcs::Srs srs = pcs::Srs::generate(8, rng);
-    for (auto *c : {&vanilla, &jelly}) {
-        const char *name = c == &vanilla ? "Vanilla" : "Jellyfish";
-        Keys keys = setup(*c, srs);
-        ProverStats stats;
-        HyperPlonkProof proof = prove(keys.pk, *c, &stats);
-        auto res = verify(keys.vk, proof);
+    engine::ProverContext ctx(srs);
+    const Keys &vanilla_keys = ctx.preprocess(vanilla);
+    const Keys &jelly_keys = ctx.preprocess(jelly);
+
+    engine::ProofService service(ctx, /*lanes=*/2);
+    std::vector<engine::ProofRequest> requests{
+        {&vanilla_keys.pk, &vanilla, nullptr},
+        {&jelly_keys.pk, &jelly, nullptr},
+    };
+    std::vector<engine::ProofResult> results = service.proveAll(requests);
+
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const char *name = i == 0 ? "Vanilla" : "Jellyfish";
+        const engine::ProofResult &r = results[i];
+        if (!r.ok) {
+            std::printf("  %-10s prove FAILED: %s\n", name, r.error.c_str());
+            return 1;
+        }
+        const Keys &keys = i == 0 ? vanilla_keys : jelly_keys;
+        auto res = verify(keys.vk, r.proof);
         std::printf("  %-10s prove %.1f ms, proof %.2f KB, verify %s\n",
-                    name, stats.totalMs(), proof.sizeBytes() / 1024.0,
+                    name, r.stats.totalMs(), r.proof.sizeBytes() / 1024.0,
                     res.ok ? "OK" : res.error.c_str());
         if (!res.ok)
             return 1;

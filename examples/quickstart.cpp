@@ -1,7 +1,8 @@
 /**
  * @file
- * Quickstart: build a small Vanilla HyperPlonk circuit, generate a real
- * proof, verify it, and print sizes/timings.
+ * Quickstart: build a small Vanilla HyperPlonk circuit, prove it through
+ * the engine's session API (ProverContext + ProofService), verify it, and
+ * print sizes/timings.
  *
  *   cmake -B build -G Ninja && cmake --build build
  *   ./build/examples/quickstart
@@ -11,7 +12,7 @@
  */
 #include <cstdio>
 
-#include "hyperplonk/prover.hpp"
+#include "engine/service.hpp"
 #include "hyperplonk/verifier.hpp"
 
 using namespace zkphire;
@@ -52,17 +53,30 @@ main()
                 circuit.gatesSatisfied() ? "yes" : "NO",
                 circuit.copiesSatisfied() ? "yes" : "NO");
 
-    // ---- 2. Universal setup + circuit preprocessing ---------------------
+    // ---- 2. A prover session: SRS + context + preprocessing -------------
+    // The ProverContext owns the preprocessed keys, the compiled gate-plan
+    // cache, and the runtime config (default: ZKPHIRE_THREADS or hardware
+    // concurrency) for every proof made through it.
     ff::Rng rng(42);
     pcs::Srs srs = pcs::Srs::generate(mu + 1, rng);
-    Keys keys = setup(circuit, srs);
+    engine::ProverContext ctx(srs);
+    const Keys &keys = ctx.preprocess(circuit);
     std::printf("setup done: %u selector + %u sigma commitments\n",
                 unsigned(keys.vk.selectorComms.size()),
                 unsigned(keys.vk.sigmaComms.size()));
 
-    // ---- 3. Prove --------------------------------------------------------
-    ProverStats stats;
-    HyperPlonkProof proof = prove(keys.pk, circuit, &stats);
+    // ---- 3. Prove through the service -----------------------------------
+    // One lane = a sequential service; pass lanes = N to keep N proofs in
+    // flight. Results are byte-identical either way.
+    engine::ProofService service(ctx, /*lanes=*/1);
+    engine::ProofRequest request{&keys.pk, &circuit, nullptr};
+    engine::ProofResult job = service.proveAll({request})[0];
+    if (!job.ok) {
+        std::printf("proving failed: %s\n", job.error.c_str());
+        return 1;
+    }
+    HyperPlonkProof proof = std::move(job.proof);
+    ProverStats stats = job.stats;
     std::printf("\nproof generated in %.2f ms\n", stats.totalMs());
     std::printf("  witness commit %.2f | gate identity %.2f | wire "
                 "identity %.2f | batch eval %.2f | opening %.2f (ms)\n",

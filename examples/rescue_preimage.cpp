@@ -39,8 +39,9 @@ main()
         ++mu;
     pcs::Srs srs = pcs::Srs::generate(mu + 1, rng);
     auto keys = hyperplonk::setup(pc.circuit, srs);
+    // Default rt::Config: ZKPHIRE_THREADS (or hardware concurrency) decides.
     hyperplonk::ProverStats stats;
-    auto proof = hyperplonk::prove(keys.pk, pc.circuit, &stats, 4);
+    auto proof = hyperplonk::prove(keys.pk, pc.circuit, &stats);
     auto res = hyperplonk::verify(keys.vk, proof);
     std::printf("proof: %.1f ms on this host, %zu B, verifier says %s\n",
                 stats.totalMs(), proof.sizeBytes(),

@@ -160,16 +160,16 @@ msmPippenger(std::span<const Fr> scalars, std::span<const G1Affine> points,
 
 G1Jacobian
 msmPippengerParallel(std::span<const Fr> scalars,
-                     std::span<const G1Affine> points, unsigned threads,
+                     std::span<const G1Affine> points, const rt::Config &cfg,
                      unsigned window_bits)
 {
     assert(scalars.size() == points.size());
     // Window-level parallelism inside msmPippenger replaced the old
     // split-the-points decomposition: it exposes ~num_windows-way
     // parallelism without redundant per-slice window passes, and keeps the
-    // result bit-identical to the serial kernel. threads == 0 inherits the
-    // runtime default.
-    rt::ScopedThreads scope(threads);
+    // result bit-identical to the serial kernel. A default config inherits
+    // the ambient setting.
+    rt::ScopedConfig scope(cfg);
     return msmPippenger(scalars, points, window_bits);
 }
 

@@ -16,6 +16,7 @@
 #include <span>
 
 #include "ec/g1.hpp"
+#include "rt/config.hpp"
 
 namespace zkphire::ec {
 
@@ -46,16 +47,16 @@ G1Jacobian msmPippenger(std::span<const Fr> scalars,
 unsigned pippengerAutoWindow(std::size_t n);
 
 /**
- * Pippenger MSM with an explicit thread cap. Bucket accumulation runs
+ * Pippenger MSM with an explicit runtime config. Bucket accumulation runs
  * window-parallel on the zkphire::rt pool (each window's bucket set is
  * independent, mirroring the paper's parallel MSM PEs); the window fold
  * replays the serial order, so the result is bit-identical to
- * msmPippenger at one thread. threads == 0 inherits the runtime default
- * (ZKPHIRE_THREADS env or hardware concurrency).
+ * msmPippenger at one thread. A default Config inherits the ambient
+ * setting (ZKPHIRE_THREADS env or hardware concurrency).
  */
 G1Jacobian msmPippengerParallel(std::span<const Fr> scalars,
                                 std::span<const G1Affine> points,
-                                unsigned threads,
+                                const rt::Config &cfg = {},
                                 unsigned window_bits = 0);
 
 } // namespace zkphire::ec

@@ -1,0 +1,120 @@
+#include "engine/service.hpp"
+
+#include "rt/parallel.hpp"
+
+namespace zkphire::engine {
+
+ProofService::ProofService(const ProverContext &context, unsigned lanes)
+    : ctx(context)
+{
+    if (lanes == 0)
+        lanes = 1;
+    const rt::Config &cfg = ctx.config();
+    const unsigned budget =
+        cfg.threads != 0 ? cfg.threads : rt::ThreadPool::defaultThreads();
+    // Even split, remainder to the first budget % lanes lanes, so the
+    // aggregate equals the budget whenever lanes <= budget. With more lanes
+    // than budgeted threads every lane runs serial (deliberate
+    // oversubscription: queued jobs still make progress).
+    subBudget = budget / lanes;
+    if (subBudget == 0)
+        subBudget = 1;
+    const unsigned remainder = budget > lanes ? budget % lanes : 0;
+    laneThreads.reserve(lanes);
+    for (unsigned i = 0; i < lanes; ++i) {
+        const unsigned laneBudget = subBudget + (i < remainder ? 1 : 0);
+        laneThreads.emplace_back([this, laneBudget] { laneLoop(laneBudget); });
+    }
+}
+
+ProofService::~ProofService()
+{
+    {
+        std::lock_guard<std::mutex> lk(qMu);
+        stopping = true;
+    }
+    qCv.notify_all();
+    for (std::thread &t : laneThreads)
+        t.join();
+}
+
+std::future<ProofResult>
+ProofService::submit(const ProofRequest &req)
+{
+    Job job;
+    job.req = req;
+    std::future<ProofResult> fut = job.done.get_future();
+    {
+        std::lock_guard<std::mutex> lk(qMu);
+        queue.push_back(std::move(job));
+    }
+    qCv.notify_one();
+    return fut;
+}
+
+std::vector<ProofResult>
+ProofService::proveAll(const std::vector<ProofRequest> &reqs)
+{
+    std::vector<std::future<ProofResult>> futures;
+    futures.reserve(reqs.size());
+    for (const ProofRequest &req : reqs)
+        futures.push_back(submit(req));
+    std::vector<ProofResult> results;
+    results.reserve(futures.size());
+    for (std::future<ProofResult> &f : futures)
+        results.push_back(f.get());
+    return results;
+}
+
+ProofResult
+ProofService::runJob(const ProofRequest &req, const rt::Config &laneCfg)
+{
+    ProofResult res;
+    if (req.pk == nullptr || req.circuit == nullptr) {
+        res.error = "ProofRequest missing proving key or circuit";
+        return res;
+    }
+    try {
+        res.proof = ctx.prove(*req.pk, *req.circuit, &res.stats, &laneCfg);
+        res.ok = true;
+        if (req.stats != nullptr)
+            *req.stats = res.stats;
+    } catch (const std::exception &e) {
+        res.ok = false;
+        res.error = e.what();
+    } catch (...) {
+        res.ok = false;
+        res.error = "unknown prover error";
+    }
+    return res;
+}
+
+void
+ProofService::laneLoop(unsigned laneBudget)
+{
+    // Each lane owns a private chunked pool sized to its sub-budget, so
+    // in-flight jobs never serialize on one pool's region lock. A
+    // sub-budget of 1 spawns no workers and the lane runs fully serial.
+    rt::ThreadPool lanePool(laneBudget);
+
+    for (;;) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lk(qMu);
+            qCv.wait(lk, [&] { return stopping || !queue.empty(); });
+            if (queue.empty())
+                return; // stopping, and every queued job already drained
+            job = std::move(queue.front());
+            queue.pop_front();
+        }
+        // Thread split and pool size are fixed at service construction;
+        // the other config fields (minGrain) are re-read per job so
+        // ProverContext::setConfig between batches takes effect.
+        rt::Config laneCfg = ctx.config();
+        laneCfg.threads = laneBudget;
+        laneCfg.pool = &lanePool;
+        job.done.set_value(runJob(job.req, laneCfg));
+    }
+}
+
+} // namespace zkphire::engine

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * ProofService: a job-based prover frontend over one ProverContext.
+ *
+ * The service decouples workload submission from backend execution: callers
+ * enqueue ProofRequests (proving key + witness-bearing circuit + optional
+ * stats sink) and receive futures that resolve to ProofResults. Jobs run on
+ * a fixed set of lanes — lanes == 1 is a sequential service; lanes == N
+ * keeps N proofs in flight at once.
+ *
+ * Thread budgeting: the context's budget (config().threads, or the runtime
+ * default when 0) is split across the lanes (even split, remainder to the
+ * first lanes), and every lane owns a PRIVATE rt::ThreadPool of its
+ * sub-budget. Concurrent jobs therefore never contend on one pool's region
+ * lock, and for lanes <= budget the aggregate worker count equals the
+ * configured budget regardless of how many jobs are in flight; asking for
+ * more lanes than budgeted threads oversubscribes (one serial thread per
+ * lane). The split and the pools are fixed at construction — a later
+ * ProverContext::setConfig changes the remaining fields (e.g. minGrain)
+ * for subsequent jobs, but not the thread split.
+ *
+ * Determinism: every kernel in the prover is bit-identical at any thread
+ * count, so a job's proof is byte-identical to the single-shot
+ * hyperplonk::prove path for the same circuit — independent of the lane
+ * count, the sub-budget, or what other jobs are running
+ * (tests/test_engine.cpp locks this).
+ */
+#ifndef ZKPHIRE_ENGINE_SERVICE_HPP
+#define ZKPHIRE_ENGINE_SERVICE_HPP
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/context.hpp"
+
+namespace zkphire::engine {
+
+/** One unit of work. Pointed-to objects are caller-owned and must stay
+ *  alive until the job's future resolves. */
+struct ProofRequest {
+    const hyperplonk::ProvingKey *pk = nullptr;
+    const hyperplonk::Circuit *circuit = nullptr;
+    /** Optional caller-owned sink; also copied into ProofResult::stats. */
+    hyperplonk::ProverStats *stats = nullptr;
+};
+
+struct ProofResult {
+    bool ok = false;
+    std::string error; ///< Set when ok == false.
+    hyperplonk::HyperPlonkProof proof;
+    hyperplonk::ProverStats stats;
+};
+
+class ProofService
+{
+  public:
+    /**
+     * @param ctx   Context supplying config and the shared plan cache; must
+     *              outlive the service.
+     * @param lanes Jobs in flight at once (0 is treated as 1).
+     */
+    explicit ProofService(const ProverContext &ctx, unsigned lanes = 1);
+
+    /** Drains every queued job, then joins the lanes. */
+    ~ProofService();
+
+    ProofService(const ProofService &) = delete;
+    ProofService &operator=(const ProofService &) = delete;
+
+    unsigned numLanes() const { return unsigned(laneThreads.size()); }
+    /** Base per-lane thread budget (lanes covering the remainder of an
+     *  uneven split get one more). */
+    unsigned laneThreadBudget() const { return subBudget; }
+
+    /** Enqueue one job; the future resolves when it completes. Errors are
+     *  reported in ProofResult::error, never thrown through the future. */
+    std::future<ProofResult> submit(const ProofRequest &req);
+
+    /** Submit a batch and wait for all of it; results in request order. */
+    std::vector<ProofResult> proveAll(const std::vector<ProofRequest> &reqs);
+
+  private:
+    struct Job {
+        ProofRequest req;
+        std::promise<ProofResult> done;
+    };
+
+    void laneLoop(unsigned laneBudget);
+    ProofResult runJob(const ProofRequest &req, const rt::Config &laneCfg);
+
+    const ProverContext &ctx;
+    unsigned subBudget = 1;
+    std::vector<std::thread> laneThreads;
+    std::mutex qMu;
+    std::condition_variable qCv;
+    std::deque<Job> queue;
+    bool stopping = false;
+};
+
+} // namespace zkphire::engine
+
+#endif // ZKPHIRE_ENGINE_SERVICE_HPP

@@ -195,21 +195,6 @@ makeOpenCheck()
 
 namespace {
 
-std::shared_ptr<const poly::GatePlan>
-cachedPlanByKey(const std::string &key, const poly::GateExpr &expr)
-{
-    static std::mutex mu;
-    static std::map<std::string, std::shared_ptr<const poly::GatePlan>> cache;
-    std::lock_guard<std::mutex> lock(mu);
-    auto it = cache.find(key);
-    if (it != cache.end())
-        return it->second;
-    auto plan = std::make_shared<const poly::GatePlan>(
-        poly::GatePlan::compile(expr));
-    cache.emplace(key, plan);
-    return plan;
-}
-
 /** Canonical structural encoding: slot count plus every term's coefficient
  *  and factor slot *ids* (slot names can repeat, so toString() would let
  *  structurally different expressions collide onto one cached plan). */
@@ -231,17 +216,40 @@ structuralKey(const poly::GateExpr &expr)
 } // namespace
 
 std::shared_ptr<const poly::GatePlan>
-cachedPlan(const poly::GateExpr &expr)
+PlanCache::byKey(const std::string &key, const poly::GateExpr &expr)
 {
-    return cachedPlanByKey(structuralKey(expr), expr);
+    // Lowering under the lock keeps the invariant "one compiled plan per
+    // structure"; plans are small and compilation is cheap relative to a
+    // single SumCheck round, so contention is not a concern.
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = entries.find(key);
+    if (it != entries.end())
+        return it->second;
+    auto plan = std::make_shared<const poly::GatePlan>(
+        poly::GatePlan::compile(expr));
+    entries.emplace(key, plan);
+    return plan;
 }
 
 std::shared_ptr<const poly::GatePlan>
-cachedMaskedPlan(const poly::GateExpr &expr)
+PlanCache::plan(const poly::GateExpr &expr)
+{
+    return byKey(structuralKey(expr), expr);
+}
+
+std::shared_ptr<const poly::GatePlan>
+PlanCache::maskedPlan(const poly::GateExpr &expr)
 {
     const std::string key = structuralKey(expr) + "*f_r";
     poly::GateExpr masked = expr.multipliedBySlot("f_r", nullptr);
-    return cachedPlanByKey(key, masked);
+    return byKey(key, masked);
+}
+
+std::size_t
+PlanCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return entries.size();
 }
 
 Gate

@@ -13,7 +13,9 @@
 #ifndef ZKPHIRE_GATES_GATE_LIBRARY_HPP
 #define ZKPHIRE_GATES_GATE_LIBRARY_HPP
 
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -84,22 +86,43 @@ Gate jellyfishCoreGate();
 Gate permCoreGate(unsigned num_witnesses, const Fr &alpha);
 
 /**
- * Process-wide cache of compiled GatePlans, keyed by full expression
- * structure (name, slot names, coefficients, terms). Thread-safe; entries
- * live for the process. Intended for the fixed library gates the HyperPlonk
- * prover evaluates on every proof — do NOT feed it expressions embedding
- * per-proof challenges (e.g. permCoreGate's alpha), which would grow the
- * cache without bound; compile those inline instead (lowering is cheap
- * relative to one SumCheck round).
+ * A cache of compiled GatePlans, keyed by full expression structure
+ * (coefficients and factor slot ids). Thread-safe by construction: lookups
+ * and inserts are serialized on an instance mutex, and entries are
+ * immutable shared_ptr<const GatePlan>. There is deliberately NO
+ * process-global instance — each engine::ProverContext owns one, so two
+ * contexts proving concurrently can never share or race on plan state.
+ *
+ * Intended for the fixed library gates the HyperPlonk prover evaluates on
+ * every proof — do NOT feed it expressions embedding per-proof challenges
+ * (e.g. permCoreGate's alpha), which would grow the cache without bound;
+ * compile those inline instead (lowering is cheap relative to one SumCheck
+ * round).
  */
-std::shared_ptr<const poly::GatePlan> cachedPlan(const poly::GateExpr &expr);
+class PlanCache
+{
+  public:
+    /** Compiled plan for expr itself, lowered on first request. */
+    std::shared_ptr<const poly::GatePlan> plan(const poly::GateExpr &expr);
 
-/**
- * Cached plan for the ZeroCheck composition expr * f_r (one masking slot
- * appended to every term) — the shape sumcheck::proveZero actually runs.
- */
-std::shared_ptr<const poly::GatePlan>
-cachedMaskedPlan(const poly::GateExpr &expr);
+    /**
+     * Cached plan for the ZeroCheck composition expr * f_r (one masking
+     * slot appended to every term) — the shape sumcheck::proveZero
+     * actually runs.
+     */
+    std::shared_ptr<const poly::GatePlan>
+    maskedPlan(const poly::GateExpr &expr);
+
+    /** Number of compiled plans held. */
+    std::size_t size() const;
+
+  private:
+    std::shared_ptr<const poly::GatePlan>
+    byKey(const std::string &key, const poly::GateExpr &expr);
+
+    mutable std::mutex mu;
+    std::map<std::string, std::shared_ptr<const poly::GatePlan>> entries;
+};
 
 /**
  * The high-degree sweep family (paper §VI-A2):

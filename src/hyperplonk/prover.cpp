@@ -53,12 +53,14 @@ setup(const Circuit &circuit, const pcs::Srs &srs)
 
 HyperPlonkProof
 prove(const ProvingKey &pk, const Circuit &circuit, ProverStats *stats,
-      unsigned threads)
+      const ProveOptions &opts)
 {
     using Clock = std::chrono::steady_clock;
     // Pin every phase (commitment MSMs, batch inversion, eq tables,
-    // sumchecks); 0 inherits the runtime default.
-    rt::ScopedThreads scope(threads);
+    // sumchecks); a default config inherits the ambient setting. The inner
+    // sumcheck calls below pass a default rt::Config so they inherit this
+    // pin rather than re-applying one.
+    rt::ScopedConfig scope(opts.rt);
     assert(circuit.system() == pk.sys);
     assert(circuit.numRows() == (std::size_t(1) << pk.mu));
 
@@ -90,10 +92,11 @@ prove(const ProvingKey &pk, const Circuit &circuit, ProverStats *stats,
     for (const Mle &w : witness)
         gate_tables.push_back(w);
     // The core gate is fixed per gate system, so its masked plan comes from
-    // the process-wide cache — lowered once, reused across proofs.
-    auto gate_out =
-        sumcheck::proveZero(gate.expr, std::move(gate_tables), tr, threads,
-                            gates::cachedMaskedPlan(gate.expr));
+    // the caller's (context-owned) cache — lowered once, reused across that
+    // context's proofs. Without a cache it is lowered inside proveZero.
+    auto gate_out = sumcheck::proveZero(
+        gate.expr, std::move(gate_tables), tr, {},
+        opts.plans ? opts.plans->maskedPlan(gate.expr) : nullptr);
     proof.gateZC = std::move(gate_out.proof);
     const std::vector<Fr> &z_g = gate_out.challenges;
     st.gateIdentityMs = msSince(t0);
@@ -124,8 +127,8 @@ prove(const ProvingKey &pk, const Circuit &circuit, ProverStats *stats,
     // The PermCheck expression embeds the per-proof batching challenge
     // alpha, so its plan is lowered inline (caching it would key on alpha
     // and grow without bound).
-    auto perm_out = sumcheck::proveZero(perm_gate.expr,
-                                        std::move(perm_tables), tr, threads);
+    auto perm_out =
+        sumcheck::proveZero(perm_gate.expr, std::move(perm_tables), tr);
     proof.permZC = std::move(perm_out.proof);
     const std::vector<Fr> &z_p = perm_out.challenges;
     st.wireIdentityMs = msSince(t0);
@@ -160,7 +163,7 @@ prove(const ProvingKey &pk, const Circuit &circuit, ProverStats *stats,
     claims_a[ci++].table = fracs.phi;
     assert(ci == claims_a.size());
 
-    auto open_a = sumcheck::proveOpen(std::move(claims_a), tr, threads);
+    auto open_a = sumcheck::proveOpen(std::move(claims_a), tr);
     proof.openA = std::move(open_a.proof);
 
     std::vector<EvalClaim> claims_b = detail::buildClaimsB(
@@ -169,7 +172,7 @@ prove(const ProvingKey &pk, const Circuit &circuit, ProverStats *stats,
         phi_at_zp);
     for (auto &c : claims_b)
         c.table = v;
-    auto open_b = sumcheck::proveOpen(std::move(claims_b), tr, threads);
+    auto open_b = sumcheck::proveOpen(std::move(claims_b), tr);
     proof.openB = std::move(open_b.proof);
     st.batchEvalMs = msSince(t0);
 

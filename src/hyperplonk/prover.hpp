@@ -21,6 +21,11 @@
 #include "hyperplonk/permutation.hpp"
 #include "hyperplonk/proof.hpp"
 #include "pcs/mkzg.hpp"
+#include "rt/config.hpp"
+
+namespace zkphire::gates {
+class PlanCache;
+} // namespace zkphire::gates
 
 namespace zkphire::hyperplonk {
 
@@ -67,12 +72,35 @@ struct ProverStats {
 };
 
 /**
- * Produce a HyperPlonk proof for a satisfying circuit.
- *
- * @param threads SumCheck prover worker threads.
+ * Prover-call options: the runtime config applied to every phase
+ * (commitment MSMs, batch inversion, eq tables, sumchecks) plus an
+ * optional compiled-plan cache for the fixed core gate.
+ */
+struct ProveOptions {
+    /** Thread budget / grain floor / pool. Default inherits the ambient
+     *  setting (ZKPHIRE_THREADS or hardware concurrency). */
+    rt::Config rt;
+    /** Plan cache for the core gate's masked composition; null lowers the
+     *  plan inline (transcript-identical, just recompiles per call).
+     *  Normally an engine::ProverContext's cache. */
+    gates::PlanCache *plans = nullptr;
+};
+
+/**
+ * Produce a HyperPlonk proof for a satisfying circuit (core entry point).
+ * The transcript is bit-identical under every ProveOptions value.
  */
 HyperPlonkProof prove(const ProvingKey &pk, const Circuit &circuit,
-                      ProverStats *stats = nullptr, unsigned threads = 0);
+                      ProverStats *stats, const ProveOptions &opts);
+
+/**
+ * One-shot convenience wrapper: proves on engine::defaultContext(), i.e.
+ * default rt::Config (ZKPHIRE_THREADS honored) and the process default
+ * context's plan cache. Defined in src/engine/context.cpp, above this
+ * layer. Prefer an explicit engine::ProverContext for services.
+ */
+HyperPlonkProof prove(const ProvingKey &pk, const Circuit &circuit,
+                      ProverStats *stats = nullptr);
 
 } // namespace zkphire::hyperplonk
 

@@ -43,7 +43,7 @@ class VirtualPoly
     VirtualPoly(GateExpr expr, std::vector<Mle> mles);
 
     /**
-     * Bind with a precompiled plan (e.g. gates::cachedPlan), skipping the
+     * Bind with a precompiled plan (e.g. gates::PlanCache::plan), skipping the
      * lowering pass. The plan must have been compiled from an expression
      * with identical structure.
      */

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Per-prover runtime configuration.
+ *
+ * Every prover entry point (hyperplonk::prove, sumcheck::prove / proveZero /
+ * proveOpen) takes an rt::Config instead of a raw thread count. A Config
+ * bundles the three knobs a prover region can override:
+ *
+ *   - threads:  total parallelism for the proof's kernels. 0 inherits the
+ *               ambient setting (an enclosing ScopedConfig, else the pool's
+ *               size — ZKPHIRE_THREADS / hardware concurrency). 1 forces
+ *               fully serial execution.
+ *   - minGrain: floor on auto-picked chunk sizes. Raising it trades load
+ *               balance for lower chunk-dispatch overhead on small tables;
+ *               0 keeps each kernel's default. Explicitly-chosen grains are
+ *               not affected.
+ *   - pool:     the ThreadPool parallel regions submit to. null uses the
+ *               process-global pool; engine::ProofService points each job
+ *               lane at a private pool so concurrent proofs never contend
+ *               on one pool's region lock.
+ *
+ * Configs are applied with rt::ScopedConfig (rt/parallel.hpp), an RAII
+ * thread-local override — so a Config pins every kernel reached from the
+ * current thread, including ones that take no config parameter themselves
+ * (MLE folds, eq-table builds, batch inversion). Proof transcripts are
+ * bit-identical under every Config; only wall-clock changes.
+ */
+#ifndef ZKPHIRE_RT_CONFIG_HPP
+#define ZKPHIRE_RT_CONFIG_HPP
+
+#include <cstddef>
+
+namespace zkphire::rt {
+
+class ThreadPool;
+
+struct Config {
+    unsigned threads = 0;       ///< 0 = inherit ambient / runtime default.
+    std::size_t minGrain = 0;   ///< 0 = kernel default chunk-size floors.
+    ThreadPool *pool = nullptr; ///< null = process-global pool.
+
+    /** Config with `threads` resolved to the runtime default
+     *  (ZKPHIRE_THREADS when set, hardware concurrency otherwise). */
+    static Config defaults();
+};
+
+} // namespace zkphire::rt
+
+#endif // ZKPHIRE_RT_CONFIG_HPP

@@ -9,9 +9,10 @@
  * order would match — the ordering guarantee keeps the contract simple).
  *
  * ScopedThreads overrides the effective parallelism on the current thread for
- * the duration of a scope; kernels that expose a `threads` parameter (the
- * SumCheck prover, the MSM) implement it with this, and the equivalence tests
- * use it to pin 1/2/N-thread runs.
+ * the duration of a scope; ScopedConfig additionally overrides the chunk-size
+ * floor and the target pool from an rt::Config. Prover entry points apply
+ * their Config parameter with ScopedConfig, and the equivalence tests use
+ * ScopedThreads to pin 1/2/N-thread runs.
  */
 #ifndef ZKPHIRE_RT_PARALLEL_HPP
 #define ZKPHIRE_RT_PARALLEL_HPP
@@ -20,13 +21,25 @@
 #include <utility>
 #include <vector>
 
+#include "rt/config.hpp"
 #include "rt/thread_pool.hpp"
 
 namespace zkphire::rt {
 
 namespace detail {
 inline thread_local unsigned t_threadOverride = 0;
+inline thread_local std::size_t t_minGrainOverride = 0;
+inline thread_local ThreadPool *t_poolOverride = nullptr;
 } // namespace detail
+
+/** Pool that parallel regions started by the current thread submit to. */
+inline ThreadPool &
+currentPool()
+{
+    if (detail::t_poolOverride != nullptr)
+        return *detail::t_poolOverride;
+    return ThreadPool::global();
+}
 
 /** Effective parallelism for regions started by the current thread. */
 inline unsigned
@@ -34,7 +47,7 @@ currentThreads()
 {
     if (detail::t_threadOverride != 0)
         return detail::t_threadOverride;
-    return ThreadPool::global().numThreads();
+    return currentPool().numThreads();
 }
 
 /**
@@ -59,12 +72,47 @@ class ScopedThreads
     unsigned saved;
 };
 
+/**
+ * RAII application of a full rt::Config on this thread: thread budget,
+ * chunk-size floor, and target pool. Zero/null fields inherit the enclosing
+ * setting (same "cannot cancel a caller's pin" rule as ScopedThreads).
+ */
+class ScopedConfig
+{
+  public:
+    explicit ScopedConfig(const Config &cfg)
+        : threadScope(cfg.threads),
+          savedGrain(detail::t_minGrainOverride),
+          savedPool(detail::t_poolOverride)
+    {
+        if (cfg.minGrain != 0)
+            detail::t_minGrainOverride = cfg.minGrain;
+        if (cfg.pool != nullptr)
+            detail::t_poolOverride = cfg.pool;
+    }
+    ~ScopedConfig()
+    {
+        detail::t_minGrainOverride = savedGrain;
+        detail::t_poolOverride = savedPool;
+    }
+    ScopedConfig(const ScopedConfig &) = delete;
+    ScopedConfig &operator=(const ScopedConfig &) = delete;
+
+  private:
+    ScopedThreads threadScope;
+    std::size_t savedGrain;
+    ThreadPool *savedPool;
+};
+
 namespace detail {
 
-/** Default grain: ~4 chunks per thread, at least minGrain indices each. */
+/** Default grain: ~4 chunks per thread, at least minGrain indices each.
+ *  An ambient ScopedConfig minGrain raises the floor further. */
 inline std::size_t
 autoGrain(std::size_t n, unsigned threads, std::size_t minGrain)
 {
+    if (t_minGrainOverride > minGrain)
+        minGrain = t_minGrainOverride;
     std::size_t target = std::size_t(threads) * 4;
     std::size_t grain = (n + target - 1) / target;
     return grain < minGrain ? minGrain : grain;
@@ -98,7 +146,7 @@ parallelForChunks(std::size_t begin, std::size_t end, Body &&body,
     const unsigned threads = currentThreads();
     if (grain == 0)
         grain = detail::autoGrain(end - begin, threads, minGrain);
-    ThreadPool::global().forChunks(
+    currentPool().forChunks(
         begin, end, grain,
         [&](std::size_t b, std::size_t e, std::size_t) { body(b, e); },
         threads);
@@ -140,7 +188,7 @@ parallelReduce(std::size_t begin, std::size_t end, T identity,
     const std::size_t numChunks = (n + grain - 1) / grain;
 
     std::vector<T> partial(numChunks, identity);
-    ThreadPool::global().forChunks(
+    currentPool().forChunks(
         begin, end, grain,
         [&](std::size_t b, std::size_t e, std::size_t c) {
             partial[c] = mapChunk(b, e);

@@ -2,7 +2,17 @@
 
 #include <cstdlib>
 
+#include "rt/config.hpp"
+
 namespace zkphire::rt {
+
+Config
+Config::defaults()
+{
+    Config cfg;
+    cfg.threads = ThreadPool::defaultThreads();
+    return cfg;
+}
 
 namespace {
 thread_local bool t_insideWorker = false;

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "rt/parallel.hpp"
+
 namespace zkphire::sumcheck {
 
 namespace {
@@ -44,7 +46,19 @@ buildProductTree(const Mle &phi)
     const std::size_t n = phi.size();
     std::vector<Fr> v(2 * n, Fr::zero());
     std::vector<std::uint8_t> done(2 * n, 0);
-    for (std::size_t i = 0; i < 2 * n; ++i)
+    // The leaf level v[2x] = phi[x] is half the table and has no
+    // dependencies: copy it in parallel (distinct indices, exact copies, so
+    // bit-identical to the serial loop at any thread count). The internal
+    // odd-index nodes then find every leaf memoized and only walk the
+    // product chains.
+    rt::parallelFor(
+        0, n,
+        [&](std::size_t x) {
+            v[2 * x] = phi[x];
+            done[2 * x] = 1;
+        },
+        /*grain=*/0, /*minGrain=*/1024);
+    for (std::size_t i = 1; i < 2 * n; i += 2)
         computeEntry(i, phi, v, done, n);
     return Mle(std::move(v));
 }

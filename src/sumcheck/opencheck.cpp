@@ -46,7 +46,8 @@ bindClaims(const std::vector<EvalClaim> &claims, hash::Transcript &tr)
 } // namespace
 
 OpencheckProverOutput
-proveOpen(std::vector<EvalClaim> claims, hash::Transcript &tr, unsigned threads)
+proveOpen(std::vector<EvalClaim> claims, hash::Transcript &tr,
+          const rt::Config &cfg)
 {
     assert(!claims.empty());
     [[maybe_unused]] const unsigned mu = unsigned(claims[0].point.size());
@@ -57,7 +58,7 @@ proveOpen(std::vector<EvalClaim> claims, hash::Transcript &tr, unsigned threads)
     }
 
     // Covers the eq-table builds below as well as the inner sumcheck.
-    rt::ScopedThreads scope(threads);
+    rt::ScopedConfig scope(cfg);
 
     bindClaims(claims, tr);
     Fr eta = tr.challengeFr("oc/eta");
@@ -70,8 +71,7 @@ proveOpen(std::vector<EvalClaim> claims, hash::Transcript &tr, unsigned threads)
     for (const EvalClaim &c : claims)
         tables.push_back(Mle::eqTable(c.point));
 
-    ProverOutput sc = prove(VirtualPoly(expr, std::move(tables)), tr,
-                            threads);
+    ProverOutput sc = prove(VirtualPoly(expr, std::move(tables)), tr);
 
     OpencheckProverOutput out;
     out.polyEvals.assign(sc.proof.finalSlotEvals.begin(),

@@ -41,9 +41,11 @@ struct OpencheckProverOutput {
     std::vector<Fr> polyEvals;
 };
 
-/** Prove a batch of evaluation claims. All points must have equal dims. */
+/** Prove a batch of evaluation claims. All points must have equal dims.
+ *  cfg covers the eq-table builds as well as the inner sumcheck. */
 OpencheckProverOutput proveOpen(std::vector<EvalClaim> claims,
-                                hash::Transcript &tr, unsigned threads = 0);
+                                hash::Transcript &tr,
+                                const rt::Config &cfg = {});
 
 struct OpencheckVerifyResult {
     bool ok = false;

@@ -151,15 +151,17 @@ roundEvaluations(const VirtualPoly &vp, std::size_t degree, EvalPath path)
 } // namespace
 
 ProverOutput
-prove(VirtualPoly poly, hash::Transcript &tr, unsigned threads, EvalPath path)
+prove(VirtualPoly poly, hash::Transcript &tr, const rt::Config &cfg,
+      EvalPath path)
 {
     const unsigned mu = poly.numVars();
     const std::size_t degree = poly.expr().degree();
     assert(mu > 0 && degree > 0);
 
-    // threads == 0 inherits the runtime default (ZKPHIRE_THREADS / cores);
-    // an explicit value caps both the round evaluations and the MLE folds.
-    rt::ScopedThreads scope(threads);
+    // A default Config inherits the ambient setting (enclosing ScopedConfig
+    // or the runtime default); explicit fields pin both the round
+    // evaluations and the MLE folds.
+    rt::ScopedConfig scope(cfg);
 
     ProverOutput out;
     out.proof.roundEvals.reserve(mu);

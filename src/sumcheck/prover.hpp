@@ -18,6 +18,7 @@
 
 #include "hash/transcript.hpp"
 #include "poly/virtual_poly.hpp"
+#include "rt/config.hpp"
 
 namespace zkphire::sumcheck {
 
@@ -56,15 +57,16 @@ enum class EvalPath { Plan, Naive };
  *
  * @param poly Composite polynomial (consumed: tables are folded in place).
  * @param tr   Fiat-Shamir transcript shared with the verifier.
- * @param threads Worker threads for the per-round extension/product loop
- *                (the paper's CPU baselines are 4- and 32-threaded).
- *                0 inherits the zkphire::rt default (ZKPHIRE_THREADS env or
- *                hardware concurrency); 1 forces serial execution. The proof
- *                transcript is bit-identical at every thread count.
- * @param path  Round-evaluation strategy (transcript-identical either way).
+ * @param cfg  Runtime config for the per-round extension/product loop and
+ *             the MLE folds (the paper's CPU baselines are 4- and
+ *             32-threaded). A default Config inherits the ambient setting
+ *             (an enclosing ScopedConfig, else ZKPHIRE_THREADS / hardware
+ *             concurrency); threads = 1 forces serial execution. The proof
+ *             transcript is bit-identical under every Config.
+ * @param path Round-evaluation strategy (transcript-identical either way).
  */
 ProverOutput prove(poly::VirtualPoly poly, hash::Transcript &tr,
-                   unsigned threads = 0, EvalPath path = EvalPath::Plan);
+                   const rt::Config &cfg = {}, EvalPath path = EvalPath::Plan);
 
 /**
  * Evaluate the univariate polynomial given by its values at 0..d at point r

@@ -14,14 +14,15 @@ using poly::VirtualPoly;
 
 ZerocheckProverOutput
 proveZero(const GateExpr &expr, std::vector<Mle> tables, hash::Transcript &tr,
-          unsigned threads, std::shared_ptr<const poly::GatePlan> maskedPlan)
+          const rt::Config &cfg,
+          std::shared_ptr<const poly::GatePlan> maskedPlan)
 {
     assert(!tables.empty());
     const unsigned mu = tables[0].numVars();
 
     // Pin the whole round (eq-table build included), not just the inner
-    // sumcheck; 0 inherits the ambient setting.
-    rt::ScopedThreads scope(threads);
+    // sumcheck; a default Config inherits the ambient setting.
+    rt::ScopedConfig scope(cfg);
 
     ZerocheckProverOutput out;
     out.rVec = tr.challengeFrVec("zc/r", mu);
@@ -32,7 +33,7 @@ proveZero(const GateExpr &expr, std::vector<Mle> tables, hash::Transcript &tr,
 
     ProverOutput sc =
         prove(VirtualPoly(masked, std::move(tables), std::move(maskedPlan)),
-              tr, threads);
+              tr);
     assert(sc.proof.claimedSum.isZero() &&
            "ZeroCheck witness does not satisfy the constraint");
     out.proof.sc = std::move(sc.proof);

@@ -41,15 +41,16 @@ struct ZerocheckProverOutput {
  * @param expr   Gate expression WITHOUT the f_r factor.
  * @param tables One MLE per expression slot.
  * @param tr     Fiat-Shamir transcript.
- * @param threads Prover worker threads.
+ * @param cfg    Prover runtime config (default inherits the ambient
+ *               setting; covers the eq-table build and the inner sumcheck).
  * @param maskedPlan Optional precompiled plan for the MASKED composition
- *                expr * f_r (e.g. gates::cachedMaskedPlan); when null the
- *                plan is lowered here. The transcript is identical either
- *                way.
+ *                expr * f_r (e.g. gates::PlanCache::maskedPlan); when null
+ *                the plan is lowered here. The transcript is identical
+ *                either way.
  */
 ZerocheckProverOutput
 proveZero(const poly::GateExpr &expr, std::vector<poly::Mle> tables,
-          hash::Transcript &tr, unsigned threads = 0,
+          hash::Transcript &tr, const rt::Config &cfg = {},
           std::shared_ptr<const poly::GatePlan> maskedPlan = nullptr);
 
 /** ZeroCheck verification result. */

@@ -189,7 +189,11 @@ TEST(Msm, ParallelMatchesSerial)
         points.push_back(i % 16 == 0 ? randomG1(rng) : base);
     }
     G1Jacobian serial = msmPippenger(scalars, points);
-    EXPECT_EQ(msmPippengerParallel(scalars, points, 4), serial);
-    EXPECT_EQ(msmPippengerParallel(scalars, points, 1), serial);
-    EXPECT_EQ(msmPippengerParallel(scalars, points, 24), serial);
+    using zkphire::rt::Config;
+    EXPECT_EQ(msmPippengerParallel(scalars, points, Config{.threads = 4}),
+              serial);
+    EXPECT_EQ(msmPippengerParallel(scalars, points, Config{.threads = 1}),
+              serial);
+    EXPECT_EQ(msmPippengerParallel(scalars, points, Config{.threads = 24}),
+              serial);
 }

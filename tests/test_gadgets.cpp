@@ -191,7 +191,8 @@ TEST(Rescue, PreimageProofRoundTrip)
         ++mu;
     pcs::Srs srs = pcs::Srs::generate(mu + 1, rng);
     auto keys = hyperplonk::setup(pc.circuit, srs);
-    auto proof = hyperplonk::prove(keys.pk, pc.circuit, nullptr, 4);
+    // Default rt::Config: ZKPHIRE_THREADS (or hardware concurrency) decides.
+    auto proof = hyperplonk::prove(keys.pk, pc.circuit);
     auto res = hyperplonk::verify(keys.vk, proof);
     EXPECT_TRUE(res.ok) << res.error;
 }

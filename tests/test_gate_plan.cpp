@@ -124,11 +124,13 @@ TEST(GatePlan, ProofsBitIdenticalToNaiveAtEveryThreadCount)
 
         hash::Transcript tr_naive("plan-equiv");
         auto ref = sumcheck::prove(VirtualPoly(gate.expr, tables), tr_naive,
-                                   1, sumcheck::EvalPath::Naive);
+                                   rt::Config{.threads = 1},
+                                   sumcheck::EvalPath::Naive);
         for (unsigned threads : {1u, 2u, 4u}) {
             hash::Transcript tr("plan-equiv");
             auto out = sumcheck::prove(VirtualPoly(gate.expr, tables), tr,
-                                       threads, sumcheck::EvalPath::Plan);
+                                       rt::Config{.threads = threads},
+                                       sumcheck::EvalPath::Plan);
             expectProofsIdentical(ref, out, gate.name.c_str());
         }
     }
@@ -148,12 +150,14 @@ TEST(GatePlan, ProofsBitIdenticalOnRandomExpressions)
             tables.push_back(Mle::random(mu, rng));
 
         hash::Transcript tr_naive("plan-equiv-rand");
-        auto ref = sumcheck::prove(VirtualPoly(expr, tables), tr_naive, 1,
+        auto ref = sumcheck::prove(VirtualPoly(expr, tables), tr_naive,
+                                   rt::Config{.threads = 1},
                                    sumcheck::EvalPath::Naive);
         for (unsigned threads : {1u, 3u}) {
             hash::Transcript tr("plan-equiv-rand");
             auto out = sumcheck::prove(VirtualPoly(expr, tables), tr,
-                                       threads, sumcheck::EvalPath::Plan);
+                                       rt::Config{.threads = threads},
+                                       sumcheck::EvalPath::Plan);
             expectProofsIdentical(ref, out, "random expr");
         }
         // And the proofs still verify.
@@ -202,11 +206,14 @@ TEST(GatePlan, ZeroCheckCachedPlanTranscriptIdentical)
     tables.push_back(Mle::random(mu, rng));
     tables.push_back(Mle::random(mu, rng));
 
+    gates::PlanCache cache;
     hash::Transcript tr1("zc-plan");
-    auto out1 = sumcheck::proveZero(expr, tables, tr1, 1, nullptr);
+    auto out1 = sumcheck::proveZero(expr, tables, tr1,
+                                    rt::Config{.threads = 1}, nullptr);
     hash::Transcript tr2("zc-plan");
-    auto out2 = sumcheck::proveZero(expr, tables, tr2, 2,
-                                    gates::cachedMaskedPlan(expr));
+    auto out2 = sumcheck::proveZero(expr, tables, tr2,
+                                    rt::Config{.threads = 2},
+                                    cache.maskedPlan(expr));
     EXPECT_EQ(out1.proof.sc.claimedSum, out2.proof.sc.claimedSum);
     EXPECT_EQ(out1.proof.sc.roundEvals, out2.proof.sc.roundEvals);
     EXPECT_EQ(out1.proof.sc.finalSlotEvals, out2.proof.sc.finalSlotEvals);
@@ -214,8 +221,7 @@ TEST(GatePlan, ZeroCheckCachedPlanTranscriptIdentical)
     EXPECT_EQ(out1.rVec, out2.rVec);
 
     // Cache hit returns the same compiled object.
-    EXPECT_EQ(gates::cachedMaskedPlan(expr).get(),
-              gates::cachedMaskedPlan(expr).get());
+    EXPECT_EQ(cache.maskedPlan(expr).get(), cache.maskedPlan(expr).get());
 }
 
 TEST(GatePlan, CacheKeysOnStructureNotSlotNames)
@@ -231,9 +237,11 @@ TEST(GatePlan, CacheKeysOnStructureNotSlotNames)
     b.addSlot("w");
     b.addTerm({b0, b0}); // w0^2
     ASSERT_EQ(a.toString(), b.toString()); // names really do collide
-    auto plan_a = gates::cachedPlan(a);
-    auto plan_b = gates::cachedPlan(b);
+    gates::PlanCache cache;
+    auto plan_a = cache.plan(a);
+    auto plan_b = cache.plan(b);
     EXPECT_NE(plan_a.get(), plan_b.get());
+    EXPECT_EQ(cache.size(), 2u);
 
     Rng rng(606);
     std::vector<Fr> vals{Fr::random(rng), Fr::random(rng)};

@@ -185,7 +185,8 @@ TEST(HyperPlonk, VanillaProveVerifyRoundTrip)
     Circuit c = randomVanillaCircuit(6, rng);
     Keys keys = setup(c, sharedSrs());
     ProverStats stats;
-    HyperPlonkProof proof = prove(keys.pk, c, &stats, 2);
+    HyperPlonkProof proof =
+        prove(keys.pk, c, &stats, {.rt = {.threads = 2}});
     auto res = verify(keys.vk, proof);
     EXPECT_TRUE(res.ok) << res.error;
     EXPECT_GT(stats.totalMs(), 0.0);

@@ -240,6 +240,47 @@ TEST(ThreadPool, ScopedThreadsOverridesAndRestores)
     EXPECT_EQ(rt::currentThreads(), rt::ThreadPool::global().numThreads());
 }
 
+TEST(ThreadPool, ScopedConfigAppliesAllFieldsAndRestores)
+{
+    unsigned base = rt::currentThreads();
+    rt::ThreadPool private_pool(2);
+    {
+        rt::ScopedConfig cfg(
+            rt::Config{.threads = 3, .minGrain = 512, .pool = &private_pool});
+        EXPECT_EQ(rt::currentThreads(), 3u);
+        EXPECT_EQ(&rt::currentPool(), &private_pool);
+        // The floor propagates into auto-grain decisions.
+        EXPECT_GE(rt::suggestedGrain(100), 512u);
+        {
+            // Default nested config inherits everything.
+            rt::ScopedConfig inner((rt::Config{}));
+            EXPECT_EQ(rt::currentThreads(), 3u);
+            EXPECT_EQ(&rt::currentPool(), &private_pool);
+        }
+    }
+    EXPECT_EQ(rt::currentThreads(), base);
+    EXPECT_EQ(&rt::currentPool(), &rt::ThreadPool::global());
+    EXPECT_LT(rt::suggestedGrain(100), 512u);
+}
+
+TEST(ThreadPool, ScopedConfigPoolOverrideRunsRegions)
+{
+    // parallelFor through a private pool computes the same result.
+    rt::ThreadPool private_pool(3);
+    rt::ScopedConfig cfg(rt::Config{.pool = &private_pool});
+    std::atomic<std::size_t> sum{0};
+    rt::parallelFor(0, 10000, [&](std::size_t i) { sum += i; }, 64);
+    EXPECT_EQ(sum.load(), std::size_t(10000) * 9999 / 2);
+}
+
+TEST(ThreadPool, ConfigDefaultsResolveThreads)
+{
+    rt::Config cfg = rt::Config::defaults();
+    EXPECT_EQ(cfg.threads, rt::ThreadPool::defaultThreads());
+    EXPECT_EQ(cfg.minGrain, 0u);
+    EXPECT_EQ(cfg.pool, nullptr);
+}
+
 TEST(ThreadPool, GrainClampsFinalChunk)
 {
     // 10 indices, grain 4 -> chunks [0,4) [4,8) [8,10).

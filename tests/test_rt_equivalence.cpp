@@ -62,13 +62,15 @@ TEST(RtEquivalence, SumcheckProofTranscriptIdenticalAcrossThreads)
             auto tables = gate.randomTables(mu, rng);
 
             hash::Transcript tr_serial("rt-eq");
-            auto serial = sumcheck::prove(
-                poly::VirtualPoly(gate.expr, tables), tr_serial, 1);
+            auto serial =
+                sumcheck::prove(poly::VirtualPoly(gate.expr, tables),
+                                tr_serial, rt::Config{.threads = 1});
 
             for (unsigned threads : kThreadCounts) {
                 hash::Transcript tr_par("rt-eq");
                 auto par = sumcheck::prove(
-                    poly::VirtualPoly(gate.expr, tables), tr_par, threads);
+                    poly::VirtualPoly(gate.expr, tables), tr_par,
+                    rt::Config{.threads = threads});
                 expectProofsIdentical(serial, par);
             }
         }
@@ -182,9 +184,11 @@ TEST(RtEquivalence, MsmPippengerBitIdenticalAcrossThreads)
         points.push_back(ec::randomG1(rng));
     }
 
-    ec::G1Jacobian serial = ec::msmPippengerParallel(scalars, points, 1);
+    ec::G1Jacobian serial =
+        ec::msmPippengerParallel(scalars, points, rt::Config{.threads = 1});
     for (unsigned threads : kThreadCounts) {
-        ec::G1Jacobian par = ec::msmPippengerParallel(scalars, points, threads);
+        ec::G1Jacobian par = ec::msmPippengerParallel(
+            scalars, points, rt::Config{.threads = threads});
         // Stronger than curve-point equality: the window fold replays the
         // serial operation order, so raw Jacobian coordinates must match.
         EXPECT_EQ(par.X, serial.X);

@@ -97,8 +97,10 @@ TEST(Sumcheck, MultiThreadedProverMatchesSingle)
     Rng rng(22);
     auto inst = randomInstance(rng, 11, 4, 5, 4);
     hash::Transcript t1("sc-mt"), t4("sc-mt");
-    ProverOutput p1 = prove(VirtualPoly(inst.expr, inst.tables), t1, 1);
-    ProverOutput p4 = prove(VirtualPoly(inst.expr, inst.tables), t4, 4);
+    ProverOutput p1 = prove(VirtualPoly(inst.expr, inst.tables), t1,
+                            rt::Config{.threads = 1});
+    ProverOutput p4 = prove(VirtualPoly(inst.expr, inst.tables), t4,
+                            rt::Config{.threads = 4});
     EXPECT_EQ(p1.proof.claimedSum, p4.proof.claimedSum);
     EXPECT_EQ(p1.proof.roundEvals, p4.proof.roundEvals);
     EXPECT_EQ(p1.proof.finalSlotEvals, p4.proof.finalSlotEvals);
