@@ -6,9 +6,14 @@
  * truth for the fitted constants documented in EXPERIMENTS.md — run it
  * after touching sim/ constants.
  */
+#include <chrono>
 #include <cstdio>
+#include <span>
+#include <vector>
 
 #include "bench_util.hpp"
+#include "ec/msm.hpp"
+#include "ff/rng.hpp"
 #include "sim/baseline.hpp"
 #include "sim/chip.hpp"
 #include "sim/workloads.hpp"
@@ -18,10 +23,80 @@ using namespace zkphire::sim;
 using zkphire::bench::fmt;
 using zkphire::bench::header;
 
+namespace {
+
+/**
+ * Run the real MSM kernel once and report its phase split (recode /
+ * bucket / fold, from ec::MsmStats) next to the CpuModel prediction.
+ * These are the measured numbers EXPERIMENTS.md records; the fitted
+ * nsPerPointAdd constant models Jacobian bucket adds, so the measured
+ * batched-affine line quantifies how far the overhauled hot path moved
+ * from the model's assumption.
+ */
+void
+measuredMsmRow(const char *name, std::size_t n, double frac_zero,
+               double frac_one, const ec::MsmOptions &opts,
+               const CpuModel &cpu)
+{
+    ff::Rng rng(97);
+    std::vector<ec::G1Affine> pool;
+    for (int i = 0; i < 256; ++i)
+        pool.push_back(ec::randomG1(rng));
+    std::vector<ec::G1Affine> points(n);
+    for (std::size_t i = 0; i < n; ++i)
+        points[i] = pool[i % pool.size()];
+    std::vector<ff::Fr> scalars;
+    scalars.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double u = rng.nextDouble();
+        scalars.push_back(u < frac_zero ? ff::Fr::zero()
+                          : u < frac_zero + frac_one
+                              ? ff::Fr::one()
+                              : ff::Fr::random(rng));
+    }
+
+    ec::MsmStats st;
+    auto t0 = std::chrono::steady_clock::now();
+    auto r = ec::msmPippengerOpt(scalars, points, opts, &st);
+    (void)r;
+    double total_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+
+    MsmWorkload wl{double(n), frac_zero, frac_one};
+    double model_ms = cpu.msmMs(wl);
+    double adds = double(st.affineAdds + st.pointAdds);
+    std::printf("%-26s %9.1f %8.1f %8.1f %6.1f %9.1f %8.2f %7.1f\n", name,
+                total_ms, st.recodeMs, st.bucketMs, st.foldMs, model_ms,
+                model_ms / total_ms, adds > 0 ? total_ms * 1e6 / adds : 0.0);
+}
+
+} // namespace
+
 int
 main()
 {
     const Tech &tech = defaultTech();
+
+    header("Measured CPU MSM phase timings vs CpuModel (this host, "
+           "ZKPHIRE_THREADS honored)");
+    {
+        CpuModel cpu1;
+        cpu1.threads = 1;
+        std::printf("%-26s %9s %8s %8s %6s %9s %8s %7s\n", "kernel",
+                    "total ms", "recode", "bucket", "fold", "model ms",
+                    "ratio", "ns/add");
+        const ec::MsmOptions def{};
+        const ec::MsmOptions uns{.signedDigits = false, .batchAffine = false};
+        const ec::MsmOptions sig{.signedDigits = true, .batchAffine = false};
+        measuredMsmRow("dense 2^12 batched-aff", 1u << 12, 0, 0, def, cpu1);
+        measuredMsmRow("dense 2^14 batched-aff", 1u << 14, 0, 0, def, cpu1);
+        measuredMsmRow("dense 2^16 batched-aff", 1u << 16, 0, 0, def, cpu1);
+        measuredMsmRow("dense 2^14 signed-jac", 1u << 14, 0, 0, sig, cpu1);
+        measuredMsmRow("dense 2^14 unsigned", 1u << 14, 0, 0, uns, cpu1);
+        measuredMsmRow("sparse 2^16 batched-aff", 1u << 16, 0.60, 0.30, def,
+                       cpu1);
+    }
 
     header("Area/power anchor: Table V exemplar (294.32 mm^2, 202.28 W)");
     ChipConfig ex = ChipConfig::exemplar();

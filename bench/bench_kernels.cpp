@@ -7,6 +7,8 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <map>
+
 #include "ec/msm.hpp"
 #include "engine/service.hpp"
 #include "ff/batch_inverse.hpp"
@@ -127,6 +129,121 @@ BM_MsmPippenger(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_MsmPippenger)->Arg(256)->Arg(1024)->Arg(4096);
+
+// ---------------------------------------------------------------------------
+// BM_Msm family: the MSM pipeline variants head to head — unsigned digits
+// (the pre-overhaul kernel), signed digits with Jacobian buckets, signed
+// digits with batched-affine buckets (the default hot path), and the
+// multi-column msmBatch against k independent MSMs on the witness-commit
+// shape. Points are a tiled pool of random points so the 2^18 fixtures
+// build quickly; every variant sees identical inputs.
+// ---------------------------------------------------------------------------
+
+static const std::vector<ec::G1Affine> &
+msmBenchPoints(std::size_t n)
+{
+    static std::map<std::size_t, std::vector<ec::G1Affine>> cache;
+    auto it = cache.find(n);
+    if (it != cache.end())
+        return it->second;
+    Rng rng(21);
+    std::vector<ec::G1Affine> pool;
+    for (int i = 0; i < 256; ++i)
+        pool.push_back(ec::randomG1(rng));
+    std::vector<ec::G1Affine> pts(n);
+    for (std::size_t i = 0; i < n; ++i)
+        pts[i] = pool[i % pool.size()];
+    return cache.emplace(n, std::move(pts)).first->second;
+}
+
+static std::vector<Fr>
+msmBenchScalars(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Fr> scalars;
+    scalars.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        scalars.push_back(Fr::random(rng));
+    return scalars;
+}
+
+static void
+msmVariantBench(benchmark::State &state, const ec::MsmOptions &opts)
+{
+    const std::size_t n = std::size_t(state.range(0));
+    const auto &points = msmBenchPoints(n);
+    const std::vector<Fr> scalars = msmBenchScalars(n, 22);
+    for (auto _ : state) {
+        auto r = ec::msmPippengerOpt(scalars, points, opts);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+
+static void
+BM_Msm_Unsigned(benchmark::State &state)
+{
+    msmVariantBench(state,
+                    {.signedDigits = false, .batchAffine = false});
+}
+
+static void
+BM_Msm_Signed(benchmark::State &state)
+{
+    msmVariantBench(state, {.signedDigits = true, .batchAffine = false});
+}
+
+static void
+BM_Msm_SignedBatchAffine(benchmark::State &state)
+{
+    msmVariantBench(state, {});
+}
+
+BENCHMARK(BM_Msm_Unsigned)->RangeMultiplier(4)->Range(1 << 12, 1 << 18);
+BENCHMARK(BM_Msm_Signed)->RangeMultiplier(4)->Range(1 << 12, 1 << 18);
+BENCHMARK(BM_Msm_SignedBatchAffine)
+    ->RangeMultiplier(4)
+    ->Range(1 << 12, 1 << 18);
+
+static constexpr std::size_t kMsmBenchColumns = 4;
+
+static void
+BM_Msm_BatchColumns(benchmark::State &state)
+{
+    const std::size_t n = std::size_t(state.range(0));
+    const auto &points = msmBenchPoints(n);
+    std::vector<std::vector<Fr>> cols;
+    for (std::size_t j = 0; j < kMsmBenchColumns; ++j)
+        cols.push_back(msmBenchScalars(n, 23 + j));
+    std::vector<std::span<const Fr>> spans(cols.begin(), cols.end());
+    for (auto _ : state) {
+        auto r = ec::msmBatch(spans, points);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations() * n * kMsmBenchColumns);
+}
+
+static void
+BM_Msm_IndependentColumns(benchmark::State &state)
+{
+    const std::size_t n = std::size_t(state.range(0));
+    const auto &points = msmBenchPoints(n);
+    std::vector<std::vector<Fr>> cols;
+    for (std::size_t j = 0; j < kMsmBenchColumns; ++j)
+        cols.push_back(msmBenchScalars(n, 23 + j));
+    for (auto _ : state) {
+        for (const auto &col : cols) {
+            auto r = ec::msmPippenger(col, points);
+            benchmark::DoNotOptimize(r);
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * n * kMsmBenchColumns);
+}
+
+BENCHMARK(BM_Msm_BatchColumns)->RangeMultiplier(4)->Range(1 << 12, 1 << 16);
+BENCHMARK(BM_Msm_IndependentColumns)
+    ->RangeMultiplier(4)
+    ->Range(1 << 12, 1 << 16);
 
 static void
 BM_MleFold(benchmark::State &state)

@@ -82,9 +82,14 @@ main()
                 "identity %.2f | batch eval %.2f | opening %.2f (ms)\n",
                 stats.witnessCommitMs, stats.gateIdentityMs,
                 stats.wireIdentityMs, stats.batchEvalMs, stats.openingMs);
-    std::printf("  MSM work: %llu point adds, %llu doubles\n",
+    std::printf("  MSM work: %llu point adds, %llu doubles, %llu "
+                "batched-affine adds (%llu batch inversions)\n",
                 (unsigned long long)stats.msm.pointAdds,
-                (unsigned long long)stats.msm.pointDoubles);
+                (unsigned long long)stats.msm.pointDoubles,
+                (unsigned long long)stats.msm.affineAdds,
+                (unsigned long long)stats.msm.batchInversions);
+    std::printf("  MSM phases: recode %.2f | buckets %.2f | fold %.2f (ms)\n",
+                stats.msm.recodeMs, stats.msm.bucketMs, stats.msm.foldMs);
     std::printf("  %s\n", proof.sizeBreakdown().toString().c_str());
 
     // ---- 4. Verify -------------------------------------------------------

@@ -1,0 +1,232 @@
+#include "ec/batch_add.hpp"
+
+#include <cassert>
+
+#include "ff/batch_inverse.hpp"
+
+namespace zkphire::ec {
+
+namespace {
+
+using ff::Fq;
+
+enum PairKind : std::uint8_t {
+    kKeepA = 0, ///< rhs is the identity: result = lhs.
+    kKeepB = 1, ///< lhs is the identity: result = rhs.
+    kInf = 2,   ///< lhs == -rhs: result = identity.
+    kSlope = 3, ///< Generic add or doubling: needs a slope inverse.
+};
+
+/**
+ * Classify one pair, staging slope numerator/denominator for the batched
+ * inversion when the pair needs one. Denominators are nonzero by
+ * construction: a generic add has x2 != x1 and a doubling has y != 0 (a
+ * zero y falls into the cancellation case, since then -y == y).
+ */
+inline std::uint8_t
+classifyPair(const G1Affine &a, const G1Affine &b, BatchAffineScratch &s)
+{
+    if (b.infinity)
+        return kKeepA;
+    if (a.infinity)
+        return kKeepB;
+    if (a.x == b.x) {
+        if (a.y == b.y && !a.y.isZero()) {
+            // Doubling: lambda = 3x^2 / 2y.
+            Fq sq = a.x.square();
+            s.numer.push_back(sq.dbl() + sq);
+            s.denom.push_back(a.y.dbl());
+            return kSlope;
+        }
+        return kInf;
+    }
+    // Generic: lambda = (y2 - y1) / (x2 - x1).
+    s.numer.push_back(b.y - a.y);
+    s.denom.push_back(b.x - a.x);
+    return kSlope;
+}
+
+/** Apply a classified pair; di indexes the inverted slope denominators. */
+inline G1Affine
+applyPair(std::uint8_t kind, const G1Affine &a, const G1Affine &b,
+          const BatchAffineScratch &s, std::size_t &di)
+{
+    switch (kind) {
+    case kKeepA:
+        return a;
+    case kKeepB:
+        return b;
+    case kInf:
+        return G1Affine{};
+    default: {
+        Fq lam = s.numer[di] * s.denom[di];
+        ++di;
+        Fq x3 = lam.square() - a.x - b.x;
+        return G1Affine{x3, lam * (a.x - x3) - a.y, false};
+    }
+    }
+}
+
+/** Invert this round's staged denominators (one true field inversion). */
+void
+resolveRound(BatchAffineScratch &scratch, BatchAffineStats *stats)
+{
+    if (scratch.denom.empty())
+        return;
+    ff::batchInverseSerialInPlace(std::span<Fq>(scratch.denom),
+                                  scratch.prefix);
+    if (stats) {
+        stats->affineAdds += scratch.denom.size();
+        ++stats->batchInversions;
+    }
+}
+
+inline G1Affine
+decodeEntry(std::span<const G1Affine> points, std::uint32_t e)
+{
+    const G1Affine &p = points[e >> 1];
+    if ((e & 1) == 0 || p.infinity)
+        return p;
+    return G1Affine{p.x, p.y.neg(), false};
+}
+
+/**
+ * Halving rounds over materialized points, in place: pair (2j, 2j+1) of
+ * each segment lands at slot j, an odd tail passes through (writes trail
+ * the read frontier, j <= 2j, so compaction is safe). scratch.len must
+ * hold the current segment lengths; runs until every length is <= 1.
+ */
+void
+reduceSegments(std::span<G1Affine> buf, std::span<const std::uint32_t> off,
+               bool again, BatchAffineScratch &scratch,
+               BatchAffineStats *stats)
+{
+    const std::size_t num_segs = scratch.len.size();
+    while (again) {
+        scratch.kind.clear();
+        scratch.numer.clear();
+        scratch.denom.clear();
+        for (std::size_t s = 0; s < num_segs; ++s) {
+            const std::size_t base = off[s];
+            const std::size_t pairs = scratch.len[s] / 2;
+            for (std::size_t j = 0; j < pairs; ++j)
+                scratch.kind.push_back(classifyPair(
+                    buf[base + 2 * j], buf[base + 2 * j + 1], scratch));
+        }
+        resolveRound(scratch, stats);
+
+        again = false;
+        std::size_t pi = 0, di = 0;
+        for (std::size_t s = 0; s < num_segs; ++s) {
+            const std::size_t base = off[s];
+            const std::size_t L = scratch.len[s];
+            const std::size_t pairs = L / 2;
+            for (std::size_t j = 0; j < pairs; ++j, ++pi)
+                buf[base + j] = applyPair(scratch.kind[pi], buf[base + 2 * j],
+                                          buf[base + 2 * j + 1], scratch, di);
+            if (L % 2 == 1 && L > 1)
+                buf[base + L / 2] = buf[base + L - 1];
+            scratch.len[s] = (L + 1) / 2;
+            again |= scratch.len[s] > 1;
+        }
+    }
+}
+
+} // namespace
+
+void
+batchAffineSegmentSums(std::span<G1Affine> buf,
+                       std::span<const std::uint32_t> off,
+                       std::span<G1Affine> out, BatchAffineScratch &scratch,
+                       BatchAffineStats *stats)
+{
+    const std::size_t num_segs = out.size();
+    assert(off.size() == num_segs + 1);
+
+    scratch.len.resize(num_segs);
+    bool again = false;
+    for (std::size_t s = 0; s < num_segs; ++s) {
+        scratch.len[s] = off[s + 1] - off[s];
+        again |= scratch.len[s] > 1;
+    }
+    reduceSegments(buf, off, again, scratch, stats);
+    for (std::size_t s = 0; s < num_segs; ++s)
+        out[s] = scratch.len[s] ? buf[off[s]] : G1Affine{};
+}
+
+void
+batchAffineSegmentSumsIndexed(std::span<const G1Affine> points,
+                              std::span<const std::uint32_t> enc,
+                              std::span<const std::uint32_t> off,
+                              std::span<G1Affine> out,
+                              BatchAffineScratch &scratch,
+                              BatchAffineStats *stats)
+{
+    const std::size_t num_segs = out.size();
+    assert(off.size() == num_segs + 1);
+
+    // Round 0 reads the shared point array through the encoded entries and
+    // writes compacted half-size segments into scratch.buf; the remaining
+    // rounds then run in place over materialized points.
+    scratch.off.resize(num_segs + 1);
+    scratch.off[0] = 0;
+    for (std::size_t s = 0; s < num_segs; ++s) {
+        const std::uint32_t L = off[s + 1] - off[s];
+        scratch.off[s + 1] = scratch.off[s] + (L + 1) / 2;
+    }
+    // Scratch is caller-retained (thread-local in the MSM); cap the
+    // high-water mark so one huge job doesn't pin peak-size buffers for
+    // the life of a long-running prover process.
+    const std::size_t need = scratch.off[num_segs];
+    const auto trim = [](auto &v, std::size_t bound) {
+        if (v.capacity() > 4 * bound + 1024) {
+            v.clear();
+            v.shrink_to_fit();
+        }
+    };
+    trim(scratch.buf, need);
+    trim(scratch.numer, need);
+    trim(scratch.denom, need);
+    trim(scratch.prefix, need);
+    if (scratch.buf.size() < need)
+        scratch.buf.resize(need);
+
+    scratch.kind.clear();
+    scratch.numer.clear();
+    scratch.denom.clear();
+    for (std::size_t s = 0; s < num_segs; ++s) {
+        const std::size_t base = off[s];
+        const std::size_t pairs = (off[s + 1] - base) / 2;
+        for (std::size_t j = 0; j < pairs; ++j)
+            scratch.kind.push_back(
+                classifyPair(decodeEntry(points, enc[base + 2 * j]),
+                             decodeEntry(points, enc[base + 2 * j + 1]),
+                             scratch));
+    }
+    resolveRound(scratch, stats);
+
+    scratch.len.resize(num_segs);
+    bool again = false;
+    std::size_t pi = 0, di = 0;
+    for (std::size_t s = 0; s < num_segs; ++s) {
+        const std::size_t base = off[s];
+        const std::size_t L = off[s + 1] - base;
+        const std::size_t pairs = L / 2;
+        G1Affine *dst = scratch.buf.data() + scratch.off[s];
+        for (std::size_t j = 0; j < pairs; ++j, ++pi)
+            dst[j] = applyPair(scratch.kind[pi],
+                               decodeEntry(points, enc[base + 2 * j]),
+                               decodeEntry(points, enc[base + 2 * j + 1]),
+                               scratch, di);
+        if (L % 2 == 1)
+            dst[L / 2] = decodeEntry(points, enc[base + L - 1]);
+        scratch.len[s] = std::uint32_t((L + 1) / 2);
+        again |= scratch.len[s] > 1;
+    }
+
+    reduceSegments(scratch.buf, scratch.off, again, scratch, stats);
+    for (std::size_t s = 0; s < num_segs; ++s)
+        out[s] = scratch.len[s] ? scratch.buf[scratch.off[s]] : G1Affine{};
+}
+
+} // namespace zkphire::ec

@@ -1,8 +1,12 @@
 #include "ec/msm.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <vector>
 
+#include "ec/batch_add.hpp"
+#include "ec/recode.hpp"
 #include "rt/parallel.hpp"
 
 namespace zkphire::ec {
@@ -31,31 +35,80 @@ pippengerAutoWindow(std::size_t n)
     return unsigned(c);
 }
 
+unsigned
+pippengerAutoWindowSigned(std::size_t n, bool batch_affine)
+{
+    // Argmin of the per-window cost in Fq-multiplication units: every dense
+    // point costs one bucket add — ~6.5 M batched-affine (inversion
+    // amortized) or ~11.5 M as a Jacobian mixed add — and every one of the
+    // 2^(c-1) buckets one mixed + one Jacobian aggregation add
+    // (~11.5 + 16 M) in the suffix sum. Wider windows mean fewer passes
+    // over the points but more aggregation work; the halved bucket count
+    // shifts the optimum ~1 bit wider than the unsigned choice. The cost
+    // depends only on (n, batch_affine) — never on per-column dense counts
+    // — so a batch run and each column's solo run always agree on c.
+    const double bucket_add_cost = batch_affine ? 6.5 : 11.5;
+    const double bits = double(Fr::modulusBits());
+    double best_cost = 0;
+    unsigned best = 2;
+    for (unsigned c = 2; c <= 16; ++c) {
+        double nw = double(signedDigitWindows(std::size_t(bits), c));
+        double buckets = double(std::size_t(1) << (c - 1));
+        double cost = nw * (double(n) * bucket_add_cost + buckets * 27.5);
+        if (best_cost == 0 || cost < best_cost) {
+            best_cost = cost;
+            best = c;
+        }
+    }
+    return best;
+}
+
 namespace {
 
+/** Per-window op counts, summed into MsmStats in window order. */
+struct WindowAcc {
+    std::uint64_t pointAdds = 0;
+    std::uint64_t affineAdds = 0;
+    std::uint64_t batchInversions = 0;
+};
+
+inline G1Affine
+negAffine(const G1Affine &p)
+{
+    return p.infinity ? p : G1Affine{p.x, p.y.neg(), false};
+}
+
+double
+msSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
 /**
- * Bucket-accumulate and suffix-sum one c-bit window. This is the per-window
- * body of Pippenger's loop; windows are independent, which is what the
- * parallel path exploits (the paper's MSM unit similarly processes bucket
- * sets in parallel PEs).
+ * Jacobian bucket accumulation + suffix-sum aggregation for one (window,
+ * column). Digits are read at digits[i * stride]; a negative digit adds
+ * the negated point into bucket |d|. This is the per-window body of
+ * Pippenger's loop; windows are independent, which is what the parallel
+ * path exploits (the paper's MSM unit similarly processes bucket sets in
+ * parallel PEs).
  */
 G1Jacobian
-windowSum(std::span<const G1Affine> points,
-          std::span<const ff::BigInt<Fr::numLimbs>> bits,
-          std::span<const std::uint32_t> dense_idx, std::size_t w, unsigned c,
-          std::size_t scalar_bits, MsmStats *stats)
+windowSumJacobian(std::span<const G1Affine> points,
+                  std::span<const std::uint32_t> dense_idx,
+                  const std::int32_t *digits, std::size_t stride,
+                  std::size_t num_buckets, WindowAcc &acc)
 {
-    const std::size_t num_buckets = (std::size_t(1) << c) - 1;
     std::vector<G1Jacobian> buckets(num_buckets, G1Jacobian::identity());
-    const std::size_t lo = w * c;
-    const unsigned width = unsigned(std::min<std::size_t>(c, scalar_bits - lo));
     for (std::uint32_t i : dense_idx) {
-        std::uint64_t digit = bits[i].bits(lo, width);
-        if (digit == 0)
+        const std::int32_t d = digits[std::size_t(i) * stride];
+        if (d == 0)
             continue;
-        buckets[digit - 1] = buckets[digit - 1].addMixed(points[i]);
-        if (stats)
-            ++stats->pointAdds;
+        const std::size_t b = std::size_t(d < 0 ? -d : d) - 1;
+        buckets[b] = d > 0 ? buckets[b].addMixed(points[i])
+                           : buckets[b].addMixed(negAffine(points[i]));
+        ++acc.pointAdds;
     }
     // Suffix-sum aggregation: Sum_d d * bucket[d] with 2(B-1) adds.
     G1Jacobian running = G1Jacobian::identity();
@@ -63,69 +116,219 @@ windowSum(std::span<const G1Affine> points,
     for (std::size_t b = num_buckets; b-- > 0;) {
         running = running.add(buckets[b]);
         sum = sum.add(running);
-        if (stats)
-            stats->pointAdds += 2;
+        acc.pointAdds += 2;
     }
     return sum;
 }
 
-} // namespace
-
-G1Jacobian
-msmPippenger(std::span<const Fr> scalars, std::span<const G1Affine> points,
-             unsigned window_bits, MsmStats *stats)
+/**
+ * Batched-affine bucket accumulation for one window across the selected
+ * columns (cols[jj] indexes the digit row; columns below the batch-affine
+ * floor take the Jacobian path instead so each column's representation
+ * matches its solo run): one pass over the digit slab scatters each
+ * point's 4-byte encoded reference (index + negation bit for negative
+ * digits) into its (column, bucket) segment, one segmented batched-affine
+ * reduction sums every bucket of every selected column — reading the
+ * shared point array through the references and amortizing each round's
+ * single true inversion over all |cols| * B buckets — and a per-column
+ * suffix sum aggregates the affine bucket values with mixed adds. Scratch
+ * lives in thread-locals: pool workers process many windows (and many
+ * MSMs), so steady state allocates nothing; buffers whose capacity
+ * exceeds ~4x the current job are released so one huge MSM doesn't pin
+ * peak-size buffers per worker forever.
+ */
+void
+windowSumBatchAffine(std::span<const G1Affine> points,
+                     std::span<const std::uint32_t> dense_idx,
+                     const std::int32_t *digits, std::size_t k,
+                     std::span<const std::uint32_t> cols,
+                     std::size_t num_buckets, G1Jacobian *sums_out,
+                     WindowAcc &acc)
 {
-    assert(scalars.size() == points.size());
-    const std::size_t n = scalars.size();
-    if (n == 0)
-        return G1Jacobian::identity();
-    const unsigned c = window_bits ? window_bits : pippengerAutoWindow(n);
+    thread_local std::vector<std::uint32_t> off, cur, enc;
+    thread_local std::vector<G1Affine> bucket_sums;
+    thread_local BatchAffineScratch scratch;
 
-    // Canonical scalar bits (parallel: per-element Montgomery reductions are
-    // independent) and 0/1 classification for the sparse fast path the
-    // paper's Sparse MSMs exploit (0 skipped, 1 accumulated directly).
-    std::vector<ff::BigInt<Fr::numLimbs>> bits(n);
-    std::vector<std::uint8_t> klass(n); // 0 = zero, 1 = one, 2 = dense
-    rt::parallelFor(
-        0, n,
-        [&](std::size_t i) {
-            bits[i] = scalars[i].toBig();
-            klass[i] = scalars[i].isZero() ? 0 : scalars[i].isOne() ? 1 : 2;
-        },
-        /*grain=*/0, /*minGrain=*/512);
+    const std::size_t kk = cols.size();
+    const std::size_t total_buckets = kk * num_buckets;
+    off.assign(total_buckets + 1, 0);
+    for (std::uint32_t i : dense_idx) {
+        const std::int32_t *row = digits + std::size_t(i) * k;
+        for (std::size_t jj = 0; jj < kk; ++jj) {
+            const std::int32_t d = row[cols[jj]];
+            if (d != 0)
+                ++off[jj * num_buckets + std::size_t(d < 0 ? -d : d)];
+        }
+    }
+    for (std::size_t b = 0; b < total_buckets; ++b)
+        off[b + 1] += off[b];
 
-    // Serial sweep keeps the trivial accumulator's addition order (and so
-    // its exact Jacobian representation) identical at every thread count.
-    G1Jacobian trivial_acc = G1Jacobian::identity();
-    std::vector<std::uint32_t> dense_idx;
-    dense_idx.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) {
-        if (klass[i] == 0) {
-            if (stats)
-                ++stats->trivialScalars;
-        } else if (klass[i] == 1) {
-            trivial_acc = trivial_acc.addMixed(points[i]);
-            if (stats) {
-                ++stats->trivialScalars;
-                ++stats->pointAdds;
-            }
-        } else {
-            dense_idx.push_back(std::uint32_t(i));
-            if (stats)
-                ++stats->denseScalars;
+    if (enc.capacity() > 4 * std::size_t(off[total_buckets]) + 1024) {
+        enc.clear();
+        enc.shrink_to_fit();
+    }
+    if (enc.size() < off[total_buckets])
+        enc.resize(off[total_buckets]);
+    cur.assign(off.begin(), off.end() - 1);
+    for (std::uint32_t i : dense_idx) {
+        const std::int32_t *row = digits + std::size_t(i) * k;
+        for (std::size_t jj = 0; jj < kk; ++jj) {
+            const std::int32_t d = row[cols[jj]];
+            if (d == 0)
+                continue;
+            const std::size_t b =
+                jj * num_buckets + std::size_t(d < 0 ? -d : d) - 1;
+            enc[cur[b]++] = (i << 1) | std::uint32_t(d < 0);
         }
     }
 
-    const std::size_t scalar_bits = Fr::modulusBits();
-    const std::size_t num_windows = (scalar_bits + c - 1) / c;
+    bucket_sums.resize(total_buckets);
+    BatchAffineStats bst;
+    batchAffineSegmentSumsIndexed(
+        points, std::span<const std::uint32_t>(enc.data(), off[total_buckets]),
+        off, bucket_sums, scratch, &bst);
+    acc.affineAdds += bst.affineAdds;
+    acc.batchInversions += bst.batchInversions;
 
-    // Bucket accumulation per window, windows in parallel. Each window's sum
-    // is computed by exactly the serial per-window sequence, and the fold
-    // below replays the serial double-and-add order, so the result is
-    // bit-identical to a single-threaded run. Per-window stats are summed in
-    // window order for the same reason.
-    std::vector<G1Jacobian> sums(num_windows);
-    std::vector<MsmStats> wstats(stats ? num_windows : 0);
+    for (std::size_t jj = 0; jj < kk; ++jj) {
+        G1Jacobian running = G1Jacobian::identity();
+        G1Jacobian sum = G1Jacobian::identity();
+        for (std::size_t b = num_buckets; b-- > 0;) {
+            running = running.addMixed(bucket_sums[jj * num_buckets + b]);
+            sum = sum.add(running);
+            acc.pointAdds += 2;
+        }
+        sums_out[cols[jj]] = sum;
+    }
+}
+
+/**
+ * Shared multi-column Pippenger core. Column j's result equals an
+ * independent single-column run exactly: per-column state (trivial
+ * accumulator, bucket sets, window fold) never mixes across columns; only
+ * the point walk, the digit slab, and the batch inversions are shared.
+ */
+std::vector<G1Jacobian>
+msmBatchCore(std::span<const std::span<const Fr>> cols,
+             std::span<const G1Affine> points, const MsmOptions &opts,
+             MsmStats *stats)
+{
+    using Clock = std::chrono::steady_clock;
+    const std::size_t k = cols.size();
+    const std::size_t n = points.size();
+    std::vector<G1Jacobian> out(k, G1Jacobian::identity());
+    if (k == 0 || n == 0)
+        return out;
+#ifndef NDEBUG
+    for (const auto &col : cols)
+        assert(col.size() == n && "column/point length mismatch");
+#endif
+
+    const bool sgn = opts.signedDigits;
+    const unsigned c =
+        opts.windowBits ? opts.windowBits
+        : sgn           ? pippengerAutoWindowSigned(n, opts.batchAffine)
+                        : pippengerAutoWindow(n);
+    assert(c >= 1 && c <= 16);
+    const std::size_t scalar_bits = Fr::modulusBits();
+    const std::size_t num_windows = sgn
+                                        ? signedDigitWindows(scalar_bits, c)
+                                        : (scalar_bits + c - 1) / c;
+    const std::size_t num_buckets = sgn ? (std::size_t(1) << (c - 1))
+                                        : (std::size_t(1) << c) - 1;
+
+    // Phase 1: classify every scalar and recode dense ones into the
+    // window-major digit slab (digit of point i, column j, window w at
+    // (w*n + i)*k + j, so a window reads one contiguous slab and a point's
+    // k digits sit together). Trivial {0,1} scalars keep all-zero digits.
+    auto t0 = Clock::now();
+    std::vector<std::int32_t> digits(num_windows * n * k);
+    std::vector<std::uint8_t> klass(n * k); // 0 = zero, 1 = one, 2 = dense
+    const std::size_t stride = n * k;
+    rt::parallelFor(
+        0, n,
+        [&](std::size_t i) {
+            for (std::size_t j = 0; j < k; ++j) {
+                const Fr &s = cols[j][i];
+                const std::uint8_t kl = s.isZero() ? 0
+                                        : s.isOne() ? 1
+                                                    : 2;
+                klass[i * k + j] = kl;
+                if (kl != 2)
+                    continue;
+                const auto big = s.toBig();
+                std::int32_t *dst = &digits[i * k + j];
+                if (sgn) {
+                    recodeSignedDigits(big, c, num_windows, dst, stride);
+                } else {
+                    for (std::size_t w = 0; w < num_windows; ++w) {
+                        const std::size_t lo = w * c;
+                        const unsigned width = unsigned(
+                            std::min<std::size_t>(c, scalar_bits - lo));
+                        dst[w * stride] = std::int32_t(big.bits(lo, width));
+                    }
+                }
+            }
+        },
+        /*grain=*/0, /*minGrain=*/256);
+
+    // Serial sweep keeps each column's trivial accumulator in index order
+    // (and so its exact Jacobian representation) at every thread count. A
+    // point enters the shared walk list if ANY column is dense there.
+    std::vector<G1Jacobian> trivial(k, G1Jacobian::identity());
+    std::vector<std::size_t> col_dense(k, 0);
+    std::vector<std::uint32_t> dense_idx;
+    dense_idx.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        bool any_dense = false;
+        for (std::size_t j = 0; j < k; ++j) {
+            switch (klass[i * k + j]) {
+            case 0:
+                if (stats)
+                    ++stats->trivialScalars;
+                break;
+            case 1:
+                trivial[j] = trivial[j].addMixed(points[i]);
+                if (stats) {
+                    ++stats->trivialScalars;
+                    ++stats->pointAdds;
+                }
+                break;
+            default:
+                any_dense = true;
+                ++col_dense[j];
+                if (stats)
+                    ++stats->denseScalars;
+                break;
+            }
+        }
+        if (any_dense)
+            dense_idx.push_back(std::uint32_t(i));
+    }
+    if (stats)
+        stats->recodeMs += msSince(t0);
+
+    // Phase 2: bucket accumulation per window, windows in parallel. Each
+    // window's sums are computed by exactly the serial per-window sequence,
+    // and the fold below replays the serial double-and-add order, so the
+    // result is bit-identical to a single-threaded run. Per-window stats
+    // are summed in window order for the same reason. The batched-affine
+    // path pays one true inversion per reduction round per window, which
+    // only amortizes over enough dense points.
+    t0 = Clock::now();
+    // Path selection is per COLUMN on the column's own dense count, so a
+    // sparse column inside a dense batch takes exactly the path (and so
+    // produces exactly the Jacobian representation) its solo run would.
+    std::vector<std::uint32_t> ba_cols, jac_cols;
+    for (std::size_t j = 0; j < k; ++j) {
+        if (sgn && opts.batchAffine &&
+            col_dense[j] >= opts.batchAffineMinPoints)
+            ba_cols.push_back(std::uint32_t(j));
+        else
+            jac_cols.push_back(std::uint32_t(j));
+    }
+    std::vector<G1Jacobian> sums(num_windows * k);
+    std::vector<WindowAcc> wacc(num_windows);
     // Below ~256 dense points the per-window work is microseconds and pool
     // dispatch would dominate (mKZG's opening loop issues many shrinking
     // MSMs down to n = 1), so run the window loop inline.
@@ -133,35 +336,82 @@ msmPippenger(std::span<const Fr> scalars, std::span<const G1Affine> points,
     rt::parallelFor(
         0, num_windows,
         [&](std::size_t w) {
-            sums[w] = windowSum(points, bits, dense_idx, w, c, scalar_bits,
-                                stats ? &wstats[w] : nullptr);
+            const std::int32_t *wdig = digits.data() + w * stride;
+            if (!ba_cols.empty())
+                windowSumBatchAffine(points, dense_idx, wdig, k, ba_cols,
+                                     num_buckets, &sums[w * k], wacc[w]);
+            for (std::uint32_t j : jac_cols)
+                sums[w * k + j] = windowSumJacobian(
+                    points, dense_idx, wdig + j, k, num_buckets, wacc[w]);
         },
         /*grain=*/1);
-    if (stats)
-        for (const MsmStats &s : wstats)
-            stats->pointAdds += s.pointAdds;
-
-    // Fold windows from most significant down with c doublings between.
-    G1Jacobian result = G1Jacobian::identity();
-    for (std::size_t w = num_windows; w-- > 0;) {
-        if (!result.isIdentity() || w + 1 != num_windows) {
-            for (unsigned d = 0; d < c; ++d) {
-                result = result.dbl();
-                if (stats)
-                    ++stats->pointDoubles;
-            }
+    if (stats) {
+        for (const WindowAcc &a : wacc) {
+            stats->pointAdds += a.pointAdds;
+            stats->affineAdds += a.affineAdds;
+            stats->batchInversions += a.batchInversions;
         }
-        result = result.add(sums[w]);
-        if (stats)
-            ++stats->pointAdds;
+        stats->bucketMs += msSince(t0);
     }
-    return result.add(trivial_acc);
+
+    // Phase 3: fold windows from most significant down, c doublings between,
+    // independently per column.
+    t0 = Clock::now();
+    for (std::size_t j = 0; j < k; ++j) {
+        G1Jacobian result = G1Jacobian::identity();
+        for (std::size_t w = num_windows; w-- > 0;) {
+            if (!result.isIdentity() || w + 1 != num_windows) {
+                for (unsigned d = 0; d < c; ++d) {
+                    result = result.dbl();
+                    if (stats)
+                        ++stats->pointDoubles;
+                }
+            }
+            result = result.add(sums[w * k + j]);
+            if (stats)
+                ++stats->pointAdds;
+        }
+        out[j] = result.add(trivial[j]);
+    }
+    if (stats)
+        stats->foldMs += msSince(t0);
+    return out;
+}
+
+} // namespace
+
+G1Jacobian
+msmPippengerOpt(std::span<const Fr> scalars, std::span<const G1Affine> points,
+                const MsmOptions &opts, MsmStats *stats)
+{
+    assert(scalars.size() == points.size());
+    const std::span<const Fr> col = scalars;
+    return msmBatchCore(std::span<const std::span<const Fr>>(&col, 1), points,
+                        opts, stats)[0];
+}
+
+G1Jacobian
+msmPippenger(std::span<const Fr> scalars, std::span<const G1Affine> points,
+             unsigned window_bits, MsmStats *stats)
+{
+    MsmOptions opts = currentMsmOptions();
+    if (window_bits != 0)
+        opts.windowBits = window_bits;
+    return msmPippengerOpt(scalars, points, opts, stats);
+}
+
+std::vector<G1Jacobian>
+msmBatch(std::span<const std::span<const Fr>> cols,
+         std::span<const G1Affine> points, const MsmOptions &opts,
+         MsmStats *stats)
+{
+    return msmBatchCore(cols, points, opts, stats);
 }
 
 G1Jacobian
 msmPippengerParallel(std::span<const Fr> scalars,
                      std::span<const G1Affine> points, const rt::Config &cfg,
-                     unsigned window_bits)
+                     unsigned window_bits, MsmStats *stats)
 {
     assert(scalars.size() == points.size());
     // Window-level parallelism inside msmPippenger replaced the old
@@ -170,7 +420,7 @@ msmPippengerParallel(std::span<const Fr> scalars,
     // result bit-identical to the serial kernel. A default config inherits
     // the ambient setting.
     rt::ScopedConfig scope(cfg);
-    return msmPippenger(scalars, points, window_bits);
+    return msmPippenger(scalars, points, window_bits, stats);
 }
 
 } // namespace zkphire::ec

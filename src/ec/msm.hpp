@@ -2,30 +2,99 @@
  * @file
  * Multi-scalar multiplication: s = Sum_i k_i * P_i.
  *
- * Pippenger's bucket method (paper §II-B) with windowed scalar slicing; the
- * dominant kernel of HyperPlonk's Witness Commitment, Wire Identity, and
- * Polynomial Opening steps. The op-count statistics (point additions and
- * doublings actually performed, split by dense vs 0/1-trivial scalars) feed
- * both the MSM hardware model and the CPU baseline calibration, so the
- * functional kernel and the performance model stay structurally identical.
+ * Pippenger's bucket method (paper §II-B) — the dominant kernel of
+ * HyperPlonk's Witness Commitment, Wire Identity, and Polynomial Opening
+ * steps. The hot path slices scalars into balanced signed digits once
+ * (src/ec/recode.hpp), halving the bucket count per window, and resolves
+ * bucket additions with batched-affine arithmetic (src/ec/batch_add.hpp)
+ * so the per-point cost drops from a Jacobian mixed add to ~6 field
+ * multiplications. msmBatch extends the same core to several scalar
+ * columns over one shared point array — the witness-commitment shape —
+ * recoding each column once and walking the points once per window for
+ * all columns. The op-count statistics feed both the MSM hardware model
+ * and the CPU baseline calibration, so the functional kernel and the
+ * performance model stay structurally identical.
  */
 #ifndef ZKPHIRE_EC_MSM_HPP
 #define ZKPHIRE_EC_MSM_HPP
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "ec/g1.hpp"
 #include "rt/config.hpp"
 
 namespace zkphire::ec {
 
-/** Operation counts gathered while running an MSM. */
+/** Operation counts and phase timings gathered while running an MSM. */
 struct MsmStats {
-    std::uint64_t pointAdds = 0;   ///< Bucket/aggregation additions.
+    std::uint64_t pointAdds = 0;   ///< Jacobian bucket/aggregation additions.
     std::uint64_t pointDoubles = 0;///< Window-combining doublings.
     std::uint64_t trivialScalars = 0; ///< Scalars in {0, 1} skipped/fast-pathed.
     std::uint64_t denseScalars = 0;   ///< Full-width scalars.
+    std::uint64_t affineAdds = 0;     ///< Batched-affine bucket additions.
+    std::uint64_t batchInversions = 0;///< Batch-inversion rounds (1 true
+                                      ///< field inversion each).
+    double recodeMs = 0; ///< Scalar classify + signed-digit recoding.
+    double bucketMs = 0; ///< Bucket accumulation + per-window aggregation.
+    double foldMs = 0;   ///< Window fold (doublings + adds).
+};
+
+/**
+ * MSM algorithm knobs. The defaults are the fast path; the other settings
+ * exist for benchmarks, tests, and DSE-style experiments (engine contexts
+ * carry a per-context value, applied via ScopedMsmOptions).
+ */
+struct MsmOptions {
+    /** Bucket window size c; 0 selects automatically. */
+    unsigned windowBits = 0;
+    /** Balanced signed-digit slicing (2^(c-1) buckets) instead of unsigned
+     *  (2^c - 1 buckets). */
+    bool signedDigits = true;
+    /** Batched-affine bucket accumulation (requires signedDigits). */
+    bool batchAffine = true;
+    /**
+     * Dense-point floor below which batchAffine falls back to Jacobian
+     * buckets: each reduction round pays one true field inversion per
+     * window, which only amortizes over enough points. 0 forces
+     * batched-affine at any size (tests).
+     */
+    std::size_t batchAffineMinPoints = 512;
+};
+
+namespace detail {
+inline thread_local MsmOptions t_msmOptions{};
+} // namespace detail
+
+/** Options used when a call site does not pass explicit MsmOptions. */
+inline const MsmOptions &
+currentMsmOptions()
+{
+    return detail::t_msmOptions;
+}
+
+/**
+ * RAII override of currentMsmOptions() on this thread, mirroring
+ * rt::ScopedConfig: prover entry points apply their context's options so
+ * every MSM under them (pcs commits, quotient openings) picks them up
+ * without threading a parameter through the PCS layer. Results are
+ * bit-identical under every option value; only speed moves.
+ */
+class ScopedMsmOptions
+{
+  public:
+    explicit ScopedMsmOptions(const MsmOptions &opts)
+        : saved(detail::t_msmOptions)
+    {
+        detail::t_msmOptions = opts;
+    }
+    ~ScopedMsmOptions() { detail::t_msmOptions = saved; }
+    ScopedMsmOptions(const ScopedMsmOptions &) = delete;
+    ScopedMsmOptions &operator=(const ScopedMsmOptions &) = delete;
+
+  private:
+    MsmOptions saved;
 };
 
 /** Reference MSM: per-point double-and-add; O(n * 255) ops. Tests only. */
@@ -33,18 +102,50 @@ G1Jacobian msmNaive(std::span<const Fr> scalars,
                     std::span<const G1Affine> points);
 
 /**
- * Pippenger MSM.
+ * Pippenger MSM under the ambient currentMsmOptions().
  *
- * @param window_bits Bucket window size c; 0 selects automatically
- *        (~log2(n) - 3, clamped to [1, 16]), matching the DSE knob range.
- * @param stats Optional op-count output.
+ * @param window_bits Bucket window size c; 0 defers to the ambient options
+ *        (and then to the automatic choice), matching the DSE knob range.
+ * @param stats Optional op-count/phase-timing output (accumulated).
  */
 G1Jacobian msmPippenger(std::span<const Fr> scalars,
                         std::span<const G1Affine> points,
                         unsigned window_bits = 0, MsmStats *stats = nullptr);
 
-/** Automatic window size used when window_bits == 0. */
+/** Pippenger MSM with explicit algorithm knobs (benchmarks, experiments). */
+G1Jacobian msmPippengerOpt(std::span<const Fr> scalars,
+                           std::span<const G1Affine> points,
+                           const MsmOptions &opts,
+                           MsmStats *stats = nullptr);
+
+/**
+ * Multi-MSM over one shared point array: out[j] = Sum_i cols[j][i] * P_i.
+ *
+ * Every column is recoded once, and each window walks the point array once
+ * for all k columns, scattering each point into k bucket sets; the
+ * batched-affine reduction then amortizes its inversions over all k * B
+ * buckets of the window. This is the k-witness-column commitment shape:
+ * k MSMs for the price of ~one point walk. Each out[j] equals the
+ * independent msmPippenger result for that column exactly.
+ *
+ * Columns must all have points.size() entries.
+ */
+std::vector<G1Jacobian> msmBatch(std::span<const std::span<const Fr>> cols,
+                                 std::span<const G1Affine> points,
+                                 const MsmOptions &opts = currentMsmOptions(),
+                                 MsmStats *stats = nullptr);
+
+/** Automatic window size for unsigned slicing (~log2(n) - 3, in [1, 16]). */
 unsigned pippengerAutoWindow(std::size_t n);
+
+/**
+ * Automatic window size for signed-digit slicing: argmin of the add-count
+ * model with 2^(c-1) buckets, priced for batched-affine or Jacobian
+ * bucket adds per the flag (Jacobian adds are dearer, so the optimum sits
+ * ~1 bit narrower). The halved bucket count supports a wider window than
+ * the unsigned choice at the same n.
+ */
+unsigned pippengerAutoWindowSigned(std::size_t n, bool batch_affine = true);
 
 /**
  * Pippenger MSM with an explicit runtime config. Bucket accumulation runs
@@ -57,7 +158,8 @@ unsigned pippengerAutoWindow(std::size_t n);
 G1Jacobian msmPippengerParallel(std::span<const Fr> scalars,
                                 std::span<const G1Affine> points,
                                 const rt::Config &cfg = {},
-                                unsigned window_bits = 0);
+                                unsigned window_bits = 0,
+                                MsmStats *stats = nullptr);
 
 } // namespace zkphire::ec
 

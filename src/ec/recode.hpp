@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Signed-digit scalar recoding for windowed MSM.
+ *
+ * A c-bit unsigned Pippenger slicing needs 2^c - 1 buckets per window; the
+ * balanced signed-digit form d_w in [-2^(c-1), 2^(c-1)] halves that to
+ * 2^(c-1) buckets, because a negative digit reuses bucket |d| with the
+ * (free) affine negation (x, -y). This is the scalar-slice preprocessing
+ * step of the paper's MSM unit (and of SZKP's bucket-parallel design): the
+ * recoding runs once per scalar, in one pass with carry propagation, and
+ * every window then reads its digit from a flat array instead of re-slicing
+ * the scalar bits.
+ */
+#ifndef ZKPHIRE_EC_RECODE_HPP
+#define ZKPHIRE_EC_RECODE_HPP
+
+#include <cstdint>
+#include <cstddef>
+
+#include "ff/fr.hpp"
+
+namespace zkphire::ec {
+
+/**
+ * Number of c-bit signed windows needed for scalar_bits-bit scalars:
+ * ceil((scalar_bits + 1) / c). The extra bit absorbs the final carry — a
+ * scalar with all-ones top bits rounds its top digit up, and the carry
+ * lands in a window of its own when the top window is full.
+ */
+constexpr std::size_t
+signedDigitWindows(std::size_t scalar_bits, unsigned c)
+{
+    return (scalar_bits + c) / c;
+}
+
+/**
+ * One-pass signed-digit recoding of a canonical scalar.
+ *
+ * Writes num_windows digits d_w with
+ *     sum_w d_w * 2^(c*w) == s   and   d_w in [-2^(c-1), 2^(c-1)]
+ * (the boundary value 2^(c-1) stays positive; anything above it borrows
+ * 2^c and carries 1 into the next window).
+ *
+ * @param s           Canonical (non-Montgomery) scalar value.
+ * @param c           Window width in bits, 1 <= c <= 16.
+ * @param num_windows Must be signedDigitWindows(Fr::modulusBits(), c).
+ * @param out         Digit w is written to out[w * stride] (strided so
+ *                    callers can lay digits out window-major).
+ */
+void recodeSignedDigits(const ff::BigInt<ff::Fr::numLimbs> &s, unsigned c,
+                        std::size_t num_windows, std::int32_t *out,
+                        std::size_t stride);
+
+} // namespace zkphire::ec
+
+#endif // ZKPHIRE_EC_RECODE_HPP

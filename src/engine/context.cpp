@@ -21,6 +21,7 @@ ProverContext::preprocess(const hyperplonk::Circuit &circuit)
 {
     assert(srsRef != nullptr && "attach an SRS before preprocessing");
     rt::ScopedConfig scope(cfg);
+    ec::ScopedMsmOptions msm_scope(msmOpts);
     hyperplonk::Keys keys = hyperplonk::setup(circuit, *srsRef);
     std::lock_guard<std::mutex> lock(keysMu);
     ownedKeys.push_back(std::move(keys));
@@ -36,6 +37,7 @@ ProverContext::prove(const hyperplonk::ProvingKey &pk,
     hyperplonk::ProveOptions opts;
     opts.rt = rtOverride ? *rtOverride : cfg;
     opts.plans = &planCache;
+    opts.msm = msmOpts;
     return hyperplonk::prove(pk, circuit, stats, opts);
 }
 

@@ -54,6 +54,13 @@ class ProverContext
      *  other fields for subsequent jobs. */
     void setConfig(const rt::Config &c) { cfg = c; }
 
+    /** MSM algorithm knobs (window width, signed digits, batched-affine
+     *  buckets) applied to every proof and preprocessing run made through
+     *  this context. Proofs are byte-identical under every value — this is
+     *  a tuning/experimentation knob, same contract as setConfig. */
+    const ec::MsmOptions &msmOptions() const { return msmOpts; }
+    void setMsmOptions(const ec::MsmOptions &o) { msmOpts = o; }
+
     /** Per-context compiled-plan cache (thread-safe). */
     gates::PlanCache &plans() const { return planCache; }
 
@@ -82,6 +89,7 @@ class ProverContext
   private:
     const pcs::Srs *srsRef = nullptr;
     rt::Config cfg;
+    ec::MsmOptions msmOpts;
     mutable gates::PlanCache planCache;
     std::mutex keysMu;
     std::deque<hyperplonk::Keys> ownedKeys;

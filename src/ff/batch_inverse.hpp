@@ -111,6 +111,25 @@ batchInverseInPlace(std::span<F> xs)
         grain);
 }
 
+/**
+ * In-place batched inversion with a caller-owned prefix buffer, for hot
+ * loops that invert many small batches (the batched-affine MSM bucket
+ * adder resolves one batch per reduction round): the scratch vector is
+ * grown once and reused, so repeated rounds allocate nothing. Always runs
+ * the serial sweep — callers sit inside an already-parallel region.
+ */
+template <class F>
+void
+batchInverseSerialInPlace(std::span<F> xs, std::vector<F> &prefix_scratch)
+{
+    if (xs.empty())
+        return;
+    if (prefix_scratch.size() < xs.size())
+        prefix_scratch.resize(xs.size());
+    detail::batchInverseSerial(
+        xs, std::span<F>(prefix_scratch.data(), xs.size()));
+}
+
 /** Batched inversion returning a new vector. */
 template <class F>
 std::vector<F>

@@ -37,10 +37,11 @@ setup(const Circuit &circuit, const pcs::Srs &srs)
     pk.selectors = circuit.selectorMles();
     pk.perm = buildPermutation(circuit);
     pk.srs = &srs;
-    for (const Mle &sel : pk.selectors)
-        pk.selectorComms.push_back(pcs::commit(srs, sel));
-    for (const Mle &sig : pk.perm.sigma)
-        pk.sigmaComms.push_back(pcs::commit(srs, sig));
+    // Selector and sigma columns are same-size polynomial families over one
+    // basis — exactly the multi-MSM shape, so preprocessing commits each
+    // family with a single shared-point walk.
+    pk.selectorComms = pcs::commitBatch(srs, pk.selectors);
+    pk.sigmaComms = pcs::commitBatch(srs, pk.perm.sigma);
 
     VerifyingKey &vk = keys.vk;
     vk.sys = pk.sys;
@@ -61,6 +62,7 @@ prove(const ProvingKey &pk, const Circuit &circuit, ProverStats *stats,
     // sumcheck calls below pass a default rt::Config so they inherit this
     // pin rather than re-applying one.
     rt::ScopedConfig scope(opts.rt);
+    ec::ScopedMsmOptions msm_scope(opts.msm);
     assert(circuit.system() == pk.sys);
     assert(circuit.numRows() == (std::size_t(1) << pk.mu));
 
@@ -76,8 +78,9 @@ prove(const ProvingKey &pk, const Circuit &circuit, ProverStats *stats,
     // ---- Step 1: Witness Commitments --------------------------------
     auto t0 = Clock::now();
     std::vector<Mle> witness = circuit.witnessMles();
-    for (const Mle &w : witness)
-        proof.witnessComms.push_back(pcs::commit(srs, w, &st.msm));
+    // One multi-MSM for all k columns: scalars are recoded once and the
+    // Lagrange basis is walked once per window instead of k times.
+    proof.witnessComms = pcs::commitBatch(srs, witness, &st.msm);
     for (const auto &c : proof.witnessComms)
         pcs::appendG1(tr, "w_comm", c.point);
     st.witnessCommitMs = msSince(t0);
@@ -107,6 +110,8 @@ prove(const ProvingKey &pk, const Circuit &circuit, ProverStats *stats,
     Fr gamma = tr.challengeFr("gamma");
     FractionPolys fracs = buildFractionPolys(witness, pk.perm, beta, gamma);
     Mle v = sumcheck::buildProductTree(fracs.phi);
+    // phi (mu vars) and v (mu+1 vars) live under different bases, so these
+    // two commitments cannot share a multi-MSM.
     proof.phiComm = pcs::commit(srs, fracs.phi, &st.msm);
     proof.vComm = pcs::commit(srs, v, &st.msm);
     pcs::appendG1(tr, "phi_comm", proof.phiComm.point);
@@ -190,6 +195,10 @@ prove(const ProvingKey &pk, const Circuit &circuit, ProverStats *stats,
     for (const Mle &sig : pk.perm.sigma)
         polys_a.push_back(sig);
     polys_a.push_back(fracs.phi);
+    // The two opening chains cannot be level-zipped: g has mu variables but
+    // v has mu+1, and each level's quotient basis depends on the variable
+    // set, so the chains share no points (pcs::openMany batches same-size
+    // chains when a workload has them).
     proof.pcsA =
         pcs::batchOpen(srs, polys_a, open_a.challenges, rho, &st.msm);
     proof.pcsB = pcs::open(srs, v, open_b.challenges, &st.msm);

@@ -84,6 +84,10 @@ struct ProveOptions {
      *  plan inline (transcript-identical, just recompiles per call).
      *  Normally an engine::ProverContext's cache. */
     gates::PlanCache *plans = nullptr;
+    /** MSM algorithm knobs applied (via ec::ScopedMsmOptions) to every MSM
+     *  of the proof — commitment multi-MSMs and opening quotients. The
+     *  transcript is identical under every value; only speed moves. */
+    ec::MsmOptions msm;
 };
 
 /**

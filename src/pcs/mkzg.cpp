@@ -14,32 +14,112 @@ commit(const Srs &srs, const Mle &poly, ec::MsmStats *stats)
     return Commitment{c.toAffine()};
 }
 
+std::vector<Commitment>
+commitBatch(const Srs &srs, std::span<const Mle *const> polys,
+            ec::MsmStats *stats)
+{
+    std::vector<Commitment> out;
+    out.reserve(polys.size());
+    if (polys.empty())
+        return out;
+    // The multi-MSM needs one shared basis; a mixed-size family degrades
+    // to per-polynomial commits (same results, no sharing) rather than
+    // committing everything against polys[0]'s basis.
+    const unsigned mu = polys[0]->numVars();
+    for (const Mle *p : polys) {
+        if (p->numVars() != mu) {
+            for (const Mle *q : polys)
+                out.push_back(commit(srs, *q, stats));
+            return out;
+        }
+    }
+    std::vector<std::span<const Fr>> cols;
+    cols.reserve(polys.size());
+    for (const Mle *p : polys)
+        cols.push_back(p->evals());
+    const LevelBases &bases = srs.basesFor(mu);
+    for (const G1Jacobian &c : ec::msmBatch(cols, bases.suffix[0],
+                                            ec::currentMsmOptions(), stats))
+        out.push_back(Commitment{c.toAffine()});
+    return out;
+}
+
+std::vector<Commitment>
+commitBatch(const Srs &srs, std::span<const Mle> polys, ec::MsmStats *stats)
+{
+    std::vector<const Mle *> ptrs;
+    ptrs.reserve(polys.size());
+    for (const Mle &p : polys)
+        ptrs.push_back(&p);
+    return commitBatch(srs, std::span<const Mle *const>(ptrs), stats);
+}
+
 OpeningProof
 open(const Srs &srs, const Mle &poly, std::span<const Fr> z,
      ec::MsmStats *stats)
 {
-    const unsigned mu = poly.numVars();
-    assert(z.size() == mu);
+    const Mle *polys[] = {&poly};
+    const std::span<const Fr> zs[] = {z};
+    return std::move(openMany(srs, polys, zs, stats)[0]);
+}
+
+std::vector<OpeningProof>
+openMany(const Srs &srs, std::span<const Mle *const> polys,
+         std::span<const std::span<const Fr>> zs, ec::MsmStats *stats)
+{
+    const std::size_t m = polys.size();
+    assert(zs.size() == m);
+    std::vector<OpeningProof> proofs(m);
+    if (m == 0)
+        return proofs;
+    const unsigned mu = polys[0]->numVars();
+    if (m > 1) {
+        // Level-zipping needs one variable count; mixed-size chains
+        // degrade to independent openings (same proofs, no sharing).
+        for (std::size_t i = 0; i < m; ++i) {
+            if (polys[i]->numVars() != mu) {
+                for (std::size_t j = 0; j < m; ++j)
+                    proofs[j] = open(srs, *polys[j], zs[j], stats);
+                return proofs;
+            }
+        }
+    }
     const LevelBases &bases = srs.basesFor(mu);
 
-    OpeningProof proof;
-    proof.quotients.reserve(mu);
-    Mle cur = poly;
-    std::vector<Fr> fold_scratch; // double buffer reused across all levels
-    for (unsigned k = 0; k < mu; ++k) {
-        // q_k(X_{k+1}..) = cur(1, X..) - cur(0, X..): adjacent differences.
-        const std::size_t half = cur.size() / 2;
-        std::vector<Fr> q(half);
-        rt::parallelFor(
-            0, half,
-            [&](std::size_t j) { q[j] = cur[2 * j + 1] - cur[2 * j]; },
-            /*grain=*/0, /*minGrain=*/1024);
-        G1Jacobian pi =
-            ec::msmPippenger(q, bases.suffix[k + 1], 0, stats);
-        proof.quotients.push_back(pi.toAffine());
-        cur.fixFirstVarInPlace(z[k], fold_scratch);
+    std::vector<Mle> cur;
+    cur.reserve(m);
+    for (std::size_t i = 0; i < m; ++i) {
+        assert(zs[i].size() == mu && "opening point dimension mismatch");
+        proofs[i].quotients.reserve(mu);
+        cur.push_back(*polys[i]);
     }
-    return proof;
+
+    std::vector<std::vector<Fr>> q(m);
+    std::vector<std::vector<Fr>> fold_scratch(m); // double buffers, reused
+    std::vector<std::span<const Fr>> cols(m);
+    for (unsigned k = 0; k < mu; ++k) {
+        // q_k(X_{k+1}..) = cur(1, X..) - cur(0, X..): adjacent differences,
+        // then ONE multi-MSM over the shared suffix basis for every chain.
+        const std::size_t half = cur[0].size() / 2;
+        for (std::size_t i = 0; i < m; ++i) {
+            q[i].resize(half);
+            const Mle &c = cur[i];
+            std::vector<Fr> &qi = q[i];
+            rt::parallelFor(
+                0, half,
+                [&](std::size_t j) { qi[j] = c[2 * j + 1] - c[2 * j]; },
+                /*grain=*/0, /*minGrain=*/1024);
+            cols[i] = qi;
+        }
+        std::vector<G1Jacobian> pis =
+            ec::msmBatch(cols, bases.suffix[k + 1], ec::currentMsmOptions(),
+                         stats);
+        for (std::size_t i = 0; i < m; ++i) {
+            proofs[i].quotients.push_back(pis[i].toAffine());
+            cur[i].fixFirstVarInPlace(zs[i][k], fold_scratch[i]);
+        }
+    }
+    return proofs;
 }
 
 bool
@@ -64,9 +144,8 @@ verifyOpening(const Srs &srs, const Commitment &c, std::span<const Fr> z,
     return lhs == rhs;
 }
 
-OpeningProof
-batchOpen(const Srs &srs, std::span<const Mle> polys, std::span<const Fr> z,
-          const Fr &rho, ec::MsmStats *stats)
+Mle
+combineForBatchOpen(std::span<const Mle> polys, const Fr &rho)
 {
     assert(!polys.empty());
     const unsigned mu = polys[0].numVars();
@@ -93,6 +172,14 @@ batchOpen(const Srs &srs, std::span<const Mle> polys, std::span<const Fr> z,
             }
         },
         /*grain=*/0, /*minGrain=*/1024);
+    return g;
+}
+
+OpeningProof
+batchOpen(const Srs &srs, std::span<const Mle> polys, std::span<const Fr> z,
+          const Fr &rho, ec::MsmStats *stats)
+{
+    Mle g = combineForBatchOpen(polys, rho);
     return open(srs, g, z, stats);
 }
 

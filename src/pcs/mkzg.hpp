@@ -43,11 +43,45 @@ Commitment commit(const Srs &srs, const Mle &poly,
                   ec::MsmStats *stats = nullptr);
 
 /**
+ * Commit to several same-size polynomials with one multi-MSM
+ * (ec::msmBatch) over the shared Lagrange basis: the k witness columns of
+ * a HyperPlonk proof are recoded once and the basis points are walked
+ * once per window for all of them, instead of k independent passes. Each
+ * commitment equals the corresponding commit() result exactly.
+ */
+std::vector<Commitment> commitBatch(const Srs &srs,
+                                    std::span<const Mle *const> polys,
+                                    ec::MsmStats *stats = nullptr);
+std::vector<Commitment> commitBatch(const Srs &srs, std::span<const Mle> polys,
+                                    ec::MsmStats *stats = nullptr);
+
+/**
  * Open poly at z: produce quotient commitments pi_k with
  * f(X) - f(z) = Sum_k (X_k - z_k) q_k(X_{k+1}..). Total MSM work ~2*2^mu.
  */
 OpeningProof open(const Srs &srs, const Mle &poly, std::span<const Fr> z,
                   ec::MsmStats *stats = nullptr);
+
+/**
+ * Open several polynomials of the SAME variable count at (possibly
+ * different) points, zipping the per-variable levels: level k commits
+ * every opening's quotient with one multi-MSM over the shared suffix
+ * basis, so the basis points are read once per level for all openings.
+ * (HyperPlonk's own two chains have different variable counts — g has mu,
+ * the product polynomial v has mu+1 — so they cannot ride this; the API
+ * serves workloads that open several same-size polynomials, e.g. sharded
+ * or multi-proof batches.) proofs[i] equals open(polys[i], zs[i]) exactly.
+ */
+std::vector<OpeningProof> openMany(const Srs &srs,
+                                   std::span<const Mle *const> polys,
+                                   std::span<const std::span<const Fr>> zs,
+                                   ec::MsmStats *stats = nullptr);
+
+/**
+ * The rho-power linear combination Sum_i rho^i f_i that batchOpen commits
+ * to; exposed so callers can combine once and open through openMany.
+ */
+Mle combineForBatchOpen(std::span<const Mle> polys, const Fr &rho);
 
 /**
  * Verify an opening claim f(z) == value against a commitment.
