@@ -28,10 +28,10 @@ namespace {
 /**
  * Run the real MSM kernel once and report its phase split (recode /
  * bucket / fold, from ec::MsmStats) next to the CpuModel prediction.
- * These are the measured numbers EXPERIMENTS.md records; the fitted
- * nsPerPointAdd constant models Jacobian bucket adds, so the measured
- * batched-affine line quantifies how far the overhauled hot path moved
- * from the model's assumption.
+ * These are the measured numbers EXPERIMENTS.md records; the model now
+ * shares the kernel's window argmin and ec::msm_cost op prices, so any
+ * residual measured-vs-model gap is the fitted nsPerFieldMul constant
+ * (paper-host EPYC) vs this host, not an op-count mismatch.
  */
 void
 measuredMsmRow(const char *name, std::size_t n, double frac_zero,

@@ -12,6 +12,8 @@
 #include "ec/msm.hpp"
 #include "engine/service.hpp"
 #include "ff/batch_inverse.hpp"
+#include "ff/mul_impl.hpp"
+#include "ff/vec_ops.hpp"
 #include "gates/gate_library.hpp"
 #include "hash/keccak.hpp"
 #include "hyperplonk/circuit.hpp"
@@ -71,6 +73,83 @@ BM_FqMul(benchmark::State &state)
     }
 }
 BENCHMARK(BM_FqMul);
+
+// ---------------------------------------------------------------------------
+// BM_FieldMul family: the unrolled fixed-limb kernels against the generic
+// loop-over-limbs oracle, measured in the deployment shape — element-wise
+// span multiplication (ff::mulVec), which is how GatePlan round evaluation
+// and the batched-affine slope resolution consume them. Items processed =
+// field multiplications, so the items/sec counter reads as mul throughput;
+// the Unrolled/Generic ratio is the kernel-overhaul speedup. The BM_*Square
+// variants isolate the dedicated squaring kernel (EC point ops are
+// squaring-heavy).
+// ---------------------------------------------------------------------------
+
+template <class F>
+static void
+fieldMulBench(benchmark::State &state, bool generic, bool square)
+{
+    constexpr std::size_t kSpan = 1024;
+    Rng rng(16);
+    std::vector<F> a, b, dst(kSpan);
+    for (std::size_t i = 0; i < kSpan; ++i) {
+        a.push_back(F::random(rng));
+        b.push_back(F::random(rng));
+    }
+    ff::kernels::ScopedGenericKernels oracle(generic);
+    for (auto _ : state) {
+        if (square)
+            ff::sqrVec(dst.data(), a.data(), kSpan);
+        else
+            ff::mulVec(dst.data(), a.data(), b.data(), kSpan);
+        benchmark::DoNotOptimize(dst.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations() * kSpan);
+}
+
+static void
+BM_FieldMul_FrGeneric(benchmark::State &state)
+{
+    fieldMulBench<Fr>(state, /*generic=*/true, /*square=*/false);
+}
+
+static void
+BM_FieldMul_FrUnrolled(benchmark::State &state)
+{
+    fieldMulBench<Fr>(state, /*generic=*/false, /*square=*/false);
+}
+
+static void
+BM_FieldMul_FqGeneric(benchmark::State &state)
+{
+    fieldMulBench<ff::Fq>(state, /*generic=*/true, /*square=*/false);
+}
+
+static void
+BM_FieldMul_FqUnrolled(benchmark::State &state)
+{
+    fieldMulBench<ff::Fq>(state, /*generic=*/false, /*square=*/false);
+}
+
+static void
+BM_FieldSquare_FrUnrolled(benchmark::State &state)
+{
+    fieldMulBench<Fr>(state, /*generic=*/false, /*square=*/true);
+}
+
+static void
+BM_FieldSquare_FqUnrolled(benchmark::State &state)
+{
+    fieldMulBench<ff::Fq>(state, /*generic=*/false, /*square=*/true);
+}
+
+BENCHMARK(BM_FieldMul_FrGeneric);
+BENCHMARK(BM_FieldMul_FrUnrolled);
+BENCHMARK(BM_FieldMul_FqGeneric);
+BENCHMARK(BM_FieldMul_FqUnrolled);
+BENCHMARK(BM_FieldSquare_FrUnrolled);
+BENCHMARK(BM_FieldSquare_FqUnrolled);
 
 static void
 BM_Sha3_256(benchmark::State &state)
@@ -356,6 +435,35 @@ BENCHMARK(BM_RoundEvalNaive)
 BENCHMARK(BM_RoundEvalPlan)
     ->Args({12, 22})
     ->Args({12, -5})
+    ->Args({12, -9});
+
+/**
+ * The SIMD-blocked GatePlan hot loop in isolation: one full first-round
+ * accumulatePairs sweep (extension + op list + class accumulation) over a
+ * 2^mu-row fixture, without the surrounding SumCheck scaffolding (fold,
+ * transcript). Items processed = table pairs.
+ */
+static void
+BM_RoundEvalBlocked(benchmark::State &state)
+{
+    const unsigned mu = unsigned(state.range(0));
+    gates::Gate gate = roundEvalGate(int(state.range(1)));
+    Rng rng(15);
+    auto tables = gate.randomTables(mu, rng);
+    poly::GatePlan plan = poly::GatePlan::compile(gate.expr);
+    const std::size_t pairs = (std::size_t(1) << mu) / 2;
+    std::vector<Fr> acc(plan.accSize()), scratch;
+    for (auto _ : state) {
+        std::fill(acc.begin(), acc.end(), Fr::zero());
+        plan.accumulatePairs(tables, 0, pairs, acc, scratch);
+        benchmark::DoNotOptimize(acc.data());
+    }
+    state.counters["muls_per_pair"] = double(plan.mulsPerPair());
+    state.SetItemsProcessed(state.iterations() * pairs);
+}
+
+BENCHMARK(BM_RoundEvalBlocked)
+    ->Args({12, 22})
     ->Args({12, -9});
 
 // ---------------------------------------------------------------------------

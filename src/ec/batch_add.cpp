@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "ff/batch_inverse.hpp"
+#include "ff/vec_ops.hpp"
 
 namespace zkphire::ec {
 
@@ -46,7 +47,7 @@ classifyPair(const G1Affine &a, const G1Affine &b, BatchAffineScratch &s)
     return kSlope;
 }
 
-/** Apply a classified pair; di indexes the inverted slope denominators. */
+/** Apply a classified pair; di indexes the round's resolved slopes. */
 inline G1Affine
 applyPair(std::uint8_t kind, const G1Affine &a, const G1Affine &b,
           const BatchAffineScratch &s, std::size_t &di)
@@ -59,7 +60,7 @@ applyPair(std::uint8_t kind, const G1Affine &a, const G1Affine &b,
     case kInf:
         return G1Affine{};
     default: {
-        Fq lam = s.numer[di] * s.denom[di];
+        const Fq &lam = s.numer[di];
         ++di;
         Fq x3 = lam.square() - a.x - b.x;
         return G1Affine{x3, lam * (a.x - x3) - a.y, false};
@@ -67,7 +68,13 @@ applyPair(std::uint8_t kind, const G1Affine &a, const G1Affine &b,
     }
 }
 
-/** Invert this round's staged denominators (one true field inversion). */
+/**
+ * Resolve this round's staged slopes: one true field inversion for every
+ * denominator (Montgomery's trick), then one fused element-wise multiply
+ * turns numer[] into the finished slopes lambda = numer * denom^{-1} —
+ * a single ff::mulVec pass over the unrolled Fq kernel instead of a
+ * per-pair multiply scattered through the apply loop.
+ */
 void
 resolveRound(BatchAffineScratch &scratch, BatchAffineStats *stats)
 {
@@ -75,6 +82,8 @@ resolveRound(BatchAffineScratch &scratch, BatchAffineStats *stats)
         return;
     ff::batchInverseSerialInPlace(std::span<Fq>(scratch.denom),
                                   scratch.prefix);
+    ff::mulVec(scratch.numer.data(), scratch.numer.data(),
+               scratch.denom.data(), scratch.denom.size());
     if (stats) {
         stats->affineAdds += scratch.denom.size();
         ++stats->batchInversions;

@@ -41,6 +41,8 @@ struct BatchAffineStats {
 struct BatchAffineScratch {
     std::vector<std::uint32_t> len;
     std::vector<std::uint8_t> kind;
+    /** Slope numerators while staging; the finished slopes (numer *
+     *  denom^{-1}, one fused mulVec pass) after the round resolves. */
     std::vector<ff::Fq> numer;
     std::vector<ff::Fq> denom;
     std::vector<ff::Fq> prefix;

@@ -38,23 +38,25 @@ pippengerAutoWindow(std::size_t n)
 unsigned
 pippengerAutoWindowSigned(std::size_t n, bool batch_affine)
 {
-    // Argmin of the per-window cost in Fq-multiplication units: every dense
-    // point costs one bucket add — ~6.5 M batched-affine (inversion
-    // amortized) or ~11.5 M as a Jacobian mixed add — and every one of the
-    // 2^(c-1) buckets one mixed + one Jacobian aggregation add
-    // (~11.5 + 16 M) in the suffix sum. Wider windows mean fewer passes
+    // Argmin of the per-window cost in Fq-multiplication units (prices in
+    // ec::msm_cost, re-fit to the fixed-limb kernel overhaul and shared
+    // with sim::CpuModel): every dense point pays one bucket add per
+    // window and each of the 2^(c-1) buckets one mixed + one full
+    // aggregation add in the suffix sum. Wider windows mean fewer passes
     // over the points but more aggregation work; the halved bucket count
     // shifts the optimum ~1 bit wider than the unsigned choice. The cost
     // depends only on (n, batch_affine) — never on per-column dense counts
     // — so a batch run and each column's solo run always agree on c.
-    const double bucket_add_cost = batch_affine ? 6.5 : 11.5;
+    const double bucket_add_cost =
+        batch_affine ? msm_cost::kBatchAffineAdd : msm_cost::kMixedAdd;
     const double bits = double(Fr::modulusBits());
     double best_cost = 0;
     unsigned best = 2;
     for (unsigned c = 2; c <= 16; ++c) {
         double nw = double(signedDigitWindows(std::size_t(bits), c));
         double buckets = double(std::size_t(1) << (c - 1));
-        double cost = nw * (double(n) * bucket_add_cost + buckets * 27.5);
+        double cost = nw * (double(n) * bucket_add_cost +
+                            buckets * msm_cost::kAggPerBucket);
         if (best_cost == 0 || cost < best_cost) {
             best_cost = cost;
             best = c;
@@ -122,25 +124,37 @@ windowSumJacobian(std::span<const G1Affine> points,
 }
 
 /**
- * Batched-affine bucket accumulation for one window across the selected
- * columns (cols[jj] indexes the digit row; columns below the batch-affine
- * floor take the Jacobian path instead so each column's representation
- * matches its solo run): one pass over the digit slab scatters each
- * point's 4-byte encoded reference (index + negation bit for negative
- * digits) into its (column, bucket) segment, one segmented batched-affine
- * reduction sums every bucket of every selected column — reading the
- * shared point array through the references and amortizing each round's
- * single true inversion over all |cols| * B buckets — and a per-column
- * suffix sum aggregates the affine bucket values with mixed adds. Scratch
- * lives in thread-locals: pool workers process many windows (and many
- * MSMs), so steady state allocates nothing; buffers whose capacity
+ * Batched-affine bucket accumulation for `num_win` consecutive windows
+ * across the selected columns (cols[jj] indexes the digit row; columns
+ * below the batch-affine floor take the Jacobian path instead so each
+ * column's representation matches its solo run): one pass over the digit
+ * slabs scatters each point's 4-byte encoded reference (index + negation
+ * bit for negative digits) into its (window, column, bucket) segment, one
+ * segmented batched-affine reduction sums every bucket of every selected
+ * (window, column) — reading the shared point array through the references
+ * and amortizing each round's single true inversion over all
+ * num_win * |cols| * B buckets — and a per-(window, column) suffix sum
+ * aggregates the affine bucket values with mixed adds.
+ *
+ * The parallel path calls this per window (num_win = 1); the serial path
+ * passes the whole window range, which ROUND-SYNCHRONIZES the batch
+ * inversion across windows: every pairwise round resolves all windows'
+ * slopes with ONE true inversion, cutting the inversion count by
+ * ~num_windows x (decisive on the small MSMs of mKZG opening chains,
+ * where inversions are a large fraction of total work). Per-segment
+ * reduction order is fixed by the segment layout, so bucket sums — and
+ * every downstream value — are bit-identical either way.
+ *
+ * Scratch lives in thread-locals: pool workers process many windows (and
+ * many MSMs), so steady state allocates nothing; buffers whose capacity
  * exceeds ~4x the current job are released so one huge MSM doesn't pin
  * peak-size buffers per worker forever.
  */
 void
 windowSumBatchAffine(std::span<const G1Affine> points,
                      std::span<const std::uint32_t> dense_idx,
-                     const std::int32_t *digits, std::size_t k,
+                     const std::int32_t *digits, std::size_t stride,
+                     std::size_t num_win, std::size_t k,
                      std::span<const std::uint32_t> cols,
                      std::size_t num_buckets, G1Jacobian *sums_out,
                      WindowAcc &acc)
@@ -150,14 +164,32 @@ windowSumBatchAffine(std::span<const G1Affine> points,
     thread_local BatchAffineScratch scratch;
 
     const std::size_t kk = cols.size();
-    const std::size_t total_buckets = kk * num_buckets;
+    const std::size_t win_buckets = kk * num_buckets;
+    const std::size_t total_buckets = num_win * win_buckets;
+    // Same >4x-the-current-job release rule as enc below, applied to the
+    // bucket-count-sized buffers too: a combined sparse call can have far
+    // more segments (num_win * buckets) than entries, and these would
+    // otherwise stay pinned at that peak for the worker's lifetime.
+    const auto trim = [](auto &v, std::size_t bound) {
+        if (v.capacity() > 4 * bound + 1024) {
+            v.clear();
+            v.shrink_to_fit();
+        }
+    };
+    trim(off, total_buckets + 1);
+    trim(cur, total_buckets + 1);
+    trim(bucket_sums, total_buckets);
     off.assign(total_buckets + 1, 0);
-    for (std::uint32_t i : dense_idx) {
-        const std::int32_t *row = digits + std::size_t(i) * k;
-        for (std::size_t jj = 0; jj < kk; ++jj) {
-            const std::int32_t d = row[cols[jj]];
-            if (d != 0)
-                ++off[jj * num_buckets + std::size_t(d < 0 ? -d : d)];
+    for (std::size_t w = 0; w < num_win; ++w) {
+        const std::int32_t *wdig = digits + w * stride;
+        std::uint32_t *woff = off.data() + w * win_buckets;
+        for (std::uint32_t i : dense_idx) {
+            const std::int32_t *row = wdig + std::size_t(i) * k;
+            for (std::size_t jj = 0; jj < kk; ++jj) {
+                const std::int32_t d = row[cols[jj]];
+                if (d != 0)
+                    ++woff[jj * num_buckets + std::size_t(d < 0 ? -d : d)];
+            }
         }
     }
     for (std::size_t b = 0; b < total_buckets; ++b)
@@ -170,15 +202,19 @@ windowSumBatchAffine(std::span<const G1Affine> points,
     if (enc.size() < off[total_buckets])
         enc.resize(off[total_buckets]);
     cur.assign(off.begin(), off.end() - 1);
-    for (std::uint32_t i : dense_idx) {
-        const std::int32_t *row = digits + std::size_t(i) * k;
-        for (std::size_t jj = 0; jj < kk; ++jj) {
-            const std::int32_t d = row[cols[jj]];
-            if (d == 0)
-                continue;
-            const std::size_t b =
-                jj * num_buckets + std::size_t(d < 0 ? -d : d) - 1;
-            enc[cur[b]++] = (i << 1) | std::uint32_t(d < 0);
+    for (std::size_t w = 0; w < num_win; ++w) {
+        const std::int32_t *wdig = digits + w * stride;
+        std::uint32_t *wcur = cur.data() + w * win_buckets;
+        for (std::uint32_t i : dense_idx) {
+            const std::int32_t *row = wdig + std::size_t(i) * k;
+            for (std::size_t jj = 0; jj < kk; ++jj) {
+                const std::int32_t d = row[cols[jj]];
+                if (d == 0)
+                    continue;
+                const std::size_t b =
+                    jj * num_buckets + std::size_t(d < 0 ? -d : d) - 1;
+                enc[wcur[b]++] = (i << 1) | std::uint32_t(d < 0);
+            }
         }
     }
 
@@ -190,15 +226,19 @@ windowSumBatchAffine(std::span<const G1Affine> points,
     acc.affineAdds += bst.affineAdds;
     acc.batchInversions += bst.batchInversions;
 
-    for (std::size_t jj = 0; jj < kk; ++jj) {
-        G1Jacobian running = G1Jacobian::identity();
-        G1Jacobian sum = G1Jacobian::identity();
-        for (std::size_t b = num_buckets; b-- > 0;) {
-            running = running.addMixed(bucket_sums[jj * num_buckets + b]);
-            sum = sum.add(running);
-            acc.pointAdds += 2;
+    for (std::size_t w = 0; w < num_win; ++w) {
+        for (std::size_t jj = 0; jj < kk; ++jj) {
+            G1Jacobian running = G1Jacobian::identity();
+            G1Jacobian sum = G1Jacobian::identity();
+            const G1Affine *wsums =
+                bucket_sums.data() + w * win_buckets + jj * num_buckets;
+            for (std::size_t b = num_buckets; b-- > 0;) {
+                running = running.addMixed(wsums[b]);
+                sum = sum.add(running);
+                acc.pointAdds += 2;
+            }
+            sums_out[w * k + cols[jj]] = sum;
         }
-        sums_out[cols[jj]] = sum;
     }
 }
 
@@ -333,18 +373,45 @@ msmBatchCore(std::span<const std::span<const Fr>> cols,
     // dispatch would dominate (mKZG's opening loop issues many shrinking
     // MSMs down to n = 1), so run the window loop inline.
     rt::ScopedThreads serialSmall(dense_idx.size() < 256 ? 1u : 0u);
-    rt::parallelFor(
-        0, num_windows,
-        [&](std::size_t w) {
-            const std::int32_t *wdig = digits.data() + w * stride;
-            if (!ba_cols.empty())
-                windowSumBatchAffine(points, dense_idx, wdig, k, ba_cols,
-                                     num_buckets, &sums[w * k], wacc[w]);
+    // Serial path: round-synchronize the batch inversion across windows by
+    // reducing every window in ONE segmented batched-affine call — each
+    // pairwise round then pays a single true inversion instead of one per
+    // window (bit-identical; see windowSumBatchAffine). Below the entry
+    // cap this is a measured 1.2-1.6x on the small MSMs of mKZG opening
+    // chains (n <= ~2^11: ~200 inversions collapse to ~7); above it the
+    // combined scatter's working set outgrows the cache and the per-round
+    // inversions are noise next to the bucket adds, so windows reduce
+    // independently (which is also what the parallel path needs).
+    constexpr std::size_t kCombineMaxEntries = std::size_t(1) << 16;
+    const bool combine_windows =
+        !ba_cols.empty() && num_windows > 1 && rt::currentThreads() <= 1 &&
+        num_windows * dense_idx.size() * ba_cols.size() <=
+            kCombineMaxEntries;
+    if (combine_windows) {
+        windowSumBatchAffine(points, dense_idx, digits.data(), stride,
+                             num_windows, k, ba_cols, num_buckets,
+                             sums.data(), wacc[0]);
+        for (std::size_t w = 0; w < num_windows && !jac_cols.empty(); ++w)
             for (std::uint32_t j : jac_cols)
                 sums[w * k + j] = windowSumJacobian(
-                    points, dense_idx, wdig + j, k, num_buckets, wacc[w]);
-        },
-        /*grain=*/1);
+                    points, dense_idx, digits.data() + w * stride + j, k,
+                    num_buckets, wacc[w]);
+    } else {
+        rt::parallelFor(
+            0, num_windows,
+            [&](std::size_t w) {
+                const std::int32_t *wdig = digits.data() + w * stride;
+                if (!ba_cols.empty())
+                    windowSumBatchAffine(points, dense_idx, wdig, stride,
+                                         /*num_win=*/1, k, ba_cols,
+                                         num_buckets, &sums[w * k], wacc[w]);
+                for (std::uint32_t j : jac_cols)
+                    sums[w * k + j] = windowSumJacobian(
+                        points, dense_idx, wdig + j, k, num_buckets,
+                        wacc[w]);
+            },
+            /*grain=*/1);
+    }
     if (stats) {
         for (const WindowAcc &a : wacc) {
             stats->pointAdds += a.pointAdds;

@@ -135,6 +135,27 @@ std::vector<G1Jacobian> msmBatch(std::span<const std::span<const Fr>> cols,
                                  const MsmOptions &opts = currentMsmOptions(),
                                  MsmStats *stats = nullptr);
 
+/**
+ * Fq-multiplication prices of the MSM pipeline's point operations with
+ * the fixed-limb kernels (dedicated squaring at S ~ 0.8 M). ONE source of
+ * truth shared by the kernel's window argmin (pippengerAutoWindowSigned)
+ * and the CPU baseline model (sim::CpuModel::msmFieldMuls) — retune here
+ * and both move together.
+ */
+namespace msm_cost {
+/** Batched-affine pair addition: 2M + 1S, plus the 3 M of the amortized
+ *  Montgomery inversion trick. */
+inline constexpr double kBatchAffineAdd = 5.8;
+/** Jacobian mixed addition: 7M + 4S. */
+inline constexpr double kMixedAdd = 10.2;
+/** Full Jacobian addition: 11M + 5S. */
+inline constexpr double kFullAdd = 15.0;
+/** Suffix-sum aggregation per bucket: one mixed + one full add. */
+inline constexpr double kAggPerBucket = kMixedAdd + kFullAdd;
+/** Jacobian doubling: 2M + 5S + shifts. */
+inline constexpr double kDouble = 8.0;
+} // namespace msm_cost
+
 /** Automatic window size for unsigned slicing (~log2(n) - 3, in [1, 16]). */
 unsigned pippengerAutoWindow(std::size_t n);
 

@@ -153,9 +153,10 @@ struct BigInt {
 
     /**
      * Parse a big-endian hex string (optional 0x prefix). Truncates to N
-     * limbs; asserts on non-hex characters.
+     * limbs; asserts on non-hex characters. constexpr so field moduli can
+     * be compile-time constants baked into the unrolled Montgomery kernels.
      */
-    static BigInt
+    static constexpr BigInt
     fromHex(std::string_view hex)
     {
         if (hex.size() >= 2 && hex[0] == '0' && (hex[1] == 'x' || hex[1] == 'X'))

@@ -13,7 +13,7 @@ namespace zkphire::ff {
 /** Field configuration for the BLS12-381 base field (prime p, 381 bits). */
 struct FqCfg {
     static constexpr std::size_t numLimbs = 6;
-    static const char *
+    static constexpr const char *
     modulusHex()
     {
         return "0x1a0111ea397fe69a4b1ba7b6434bacd7"

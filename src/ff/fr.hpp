@@ -14,7 +14,7 @@ namespace zkphire::ff {
 /** Field configuration for the BLS12-381 scalar field (group order r). */
 struct FrCfg {
     static constexpr std::size_t numLimbs = 4;
-    static const char *
+    static constexpr const char *
     modulusHex()
     {
         return "0x73eda753299d7d483339d80809a1d805"

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "ff/vec_ops.hpp"
 #include "rt/parallel.hpp"
 
 namespace zkphire::pcs {
@@ -167,8 +168,13 @@ combineForBatchOpen(std::span<const Mle> polys, const Fr &rho)
             for (std::size_t i = 0; i < polys.size(); ++i) {
                 const Mle &f = polys[i];
                 const Fr c = powers[i];
-                for (std::size_t j = b; j < e; ++j)
-                    g[j] += c * f[j];
+                // Fused multiply-accumulate span over the unrolled field
+                // kernels; rho^0 == 1 skips its multiply pass outright
+                // (1 * x is exactly x in canonical Montgomery form).
+                if (c.isOne())
+                    ff::addVec(&g[b], &f[b], e - b);
+                else
+                    ff::addMulVec(&g[b], c, &f[b], e - b);
             }
         },
         /*grain=*/0, /*minGrain=*/1024);

@@ -28,7 +28,7 @@ GateExpr::addTerm(std::vector<SlotId> factors)
 void
 GateExpr::addTerm(const Fr &coeff, std::vector<SlotId> factors)
 {
-    for (SlotId f : factors)
+    for ([[maybe_unused]] SlotId f : factors)
         assert(f < slotNames.size() && "term references unknown slot");
     termList.push_back(Term{coeff, std::move(factors)});
 }

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <map>
 
+#include "ff/vec_ops.hpp"
+
 namespace zkphire::poly {
 
 namespace {
@@ -220,45 +222,71 @@ GatePlan::accumulatePairs(std::span<const Mle> tables, std::size_t begin,
 {
     assert(tables.size() >= nSlots);
     assert(acc.size() == accLen);
-    const std::size_t W = maxPts;
-    scratch.resize(std::size_t(nRegs) * W);
-    Fr *regs = scratch.data();
 
-    for (std::size_t j = begin; j < end; ++j) {
-        // Extension Engines: each slot only to its own point bound.
+    // SIMD-blocked hot loop: table pairs are processed kPairBlock at a
+    // time, and the point-minor register layout gains a pair-minor lane
+    // dimension — register r holds maxPts rows of `bs` contiguous lanes
+    // (point p, lane jj at regs[r*W*bs + p*bs + jj]). Every product op
+    // then runs as ONE contiguous ff::mulVec of numPoints*bs independent
+    // multiplications — the shape the unrolled Montgomery kernels (and an
+    // autovectorizer under -DZKPHIRE_NATIVE) digest best — and non-unit
+    // coefficients are applied once per block row instead of once per
+    // pair. Field addition is exact and canonical, so regrouping the
+    // accumulation is bit-identical to the pair-at-a-time loop.
+    constexpr std::size_t kPairBlock = 4; // lanes per block (tails shrink)
+    const std::size_t W = maxPts;
+    scratch.resize(std::size_t(nRegs) * W * kPairBlock);
+    Fr *regs = scratch.data();
+    Fr diff[kPairBlock];
+
+    for (std::size_t j = begin; j < end; j += kPairBlock) {
+        const std::size_t bs = std::min(kPairBlock, end - j);
+        // Extension Engines: each slot to its own point bound, lane-major
+        // rows so row p is one vector add over the block's diffs.
         for (SlotId s : usedSlots) {
             const Mle &tbl = tables[s];
-            const Fr lo = tbl[2 * j];
-            const Fr diff = tbl[2 * j + 1] - lo;
-            Fr *e = regs + std::size_t(s) * W;
-            e[0] = lo;
+            Fr *e = regs + std::size_t(s) * W * bs;
+            for (std::size_t jj = 0; jj < bs; ++jj) {
+                const Fr lo = tbl[2 * (j + jj)];
+                diff[jj] = tbl[2 * (j + jj) + 1] - lo;
+                e[jj] = lo;
+            }
             const std::uint32_t pts = regPoints[s];
             for (std::uint32_t p = 1; p < pts; ++p)
-                e[p] = e[p - 1] + diff;
+                for (std::size_t jj = 0; jj < bs; ++jj)
+                    e[p * bs + jj] = e[(p - 1) * bs + jj] + diff[jj];
         }
-        // Product Lanes: the hash-consed op list, point-parallel per op.
-        for (const PlanOp &op : opList) {
-            Fr *d = regs + std::size_t(op.dst) * W;
-            const Fr *a = regs + std::size_t(op.lhs) * W;
-            const Fr *b = regs + std::size_t(op.rhs) * W;
-            for (std::uint32_t p = 0; p < op.numPoints; ++p)
-                d[p] = a[p] * b[p];
-        }
-        // Accumulate each term into its degree class.
+        // Product Lanes: one batched multiply per op over all points and
+        // lanes of the block (rows beyond op.numPoints are never read).
+        for (const PlanOp &op : opList)
+            ff::mulVec(regs + std::size_t(op.dst) * W * bs,
+                       regs + std::size_t(op.lhs) * W * bs,
+                       regs + std::size_t(op.rhs) * W * bs,
+                       std::size_t(op.numPoints) * bs);
+        // Accumulate each term into its degree class: sum the block's
+        // lanes per point (seeded from lane 0 — bs >= 1 always), then one
+        // (optionally coefficient-scaled) add.
+        const auto row_sum = [bs](const Fr *row) {
+            Fr s = row[0];
+            for (std::size_t jj = 1; jj < bs; ++jj)
+                s += row[jj];
+            return s;
+        };
         for (const PlanTerm &t : termList) {
             Fr *out = acc.data() + t.accOffset;
             if (t.product == kNoReg) {
-                out[0] += t.coeff;
+                for (std::size_t jj = 0; jj < bs; ++jj)
+                    out[0] += t.coeff;
                 continue;
             }
-            const Fr *v = regs + std::size_t(t.product) * W;
+            const Fr *v = regs + std::size_t(t.product) * W * bs;
             const std::uint32_t pts = t.degree + 1;
             if (t.coeff.isOne()) {
                 for (std::uint32_t p = 0; p < pts; ++p)
-                    out[p] += v[p];
+                    out[p] += row_sum(v + p * bs);
             } else {
                 for (std::uint32_t p = 0; p < pts; ++p)
-                    out[p] += t.coeff * v[p];
+                    out[p] += t.coeff * row_sum(v + p * bs);
             }
         }
     }

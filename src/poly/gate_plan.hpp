@@ -134,8 +134,13 @@ class GatePlan
      * SumCheck round hot loop: for every table pair j in [begin, end),
      * extend each used slot to its own point bound, run the op list, and
      * accumulate each term at its degree+1 points into the flat class
-     * accumulator `acc` (length accSize()). `scratch` is resized to
-     * numRegs() * maxPoints() and reused across pairs.
+     * accumulator `acc` (length accSize()). Pairs are processed in
+     * SIMD-friendly blocks: each register becomes a (point, lane) tile so
+     * every op is one contiguous ff::mulVec over the whole block, and
+     * non-unit coefficients apply once per point row per block. `scratch`
+     * is resized to numRegs() * maxPoints() * kPairBlock and reused. The
+     * result is bit-identical to a pair-at-a-time walk (exact field
+     * arithmetic; only the grouping of additions changes).
      */
     void accumulatePairs(std::span<const Mle> tables, std::size_t begin,
                          std::size_t end, std::span<Fr> acc,

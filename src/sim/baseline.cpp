@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "ec/msm.hpp"
+#include "ec/recode.hpp"
+
 namespace zkphire::sim {
 
 double
@@ -43,25 +46,40 @@ CpuModel::sumcheckMs(const PolyShape &shape, unsigned mu) const
 }
 
 double
+CpuModel::msmFieldMuls(const MsmWorkload &wl)
+{
+    // Mirrors ec::msmPippengerOpt since the PR 4/5 overhauls: signed-digit
+    // recoding (2^(c-1) buckets), batched-affine bucket accumulation for
+    // dense scalars, the trivial-scalar fast path (zeros skipped, ones one
+    // mixed add), and a per-bucket mixed + full Jacobian aggregation pair
+    // in the suffix sum. The window width comes from the kernel's own
+    // argmin and the per-op prices from ec::msm_cost, so the model tracks
+    // the kernel's actual bucket counts and any future retune of either.
+    const double n = wl.numPoints;
+    const std::size_t scalar_bits = ff::Fr::modulusBits();
+    const unsigned c = ec::pippengerAutoWindowSigned(
+        std::size_t(std::max(0.0, n)), /*batch_affine=*/true);
+    const double windows = double(ec::signedDigitWindows(scalar_bits, c));
+    const double buckets = double(std::size_t(1) << (c - 1));
+    const double dense_muls =
+        windows * (n * wl.fracDense() * ec::msm_cost::kBatchAffineAdd +
+                   buckets * ec::msm_cost::kAggPerBucket);
+    const double one_muls = n * wl.fracOne * ec::msm_cost::kMixedAdd;
+    const double doubling_muls =
+        double(scalar_bits) * ec::msm_cost::kDouble; // window fold
+    return dense_muls + one_muls + doubling_muls;
+}
+
+double
 CpuModel::msmPointAdds(const MsmWorkload &wl)
 {
-    // Pippenger with the auto window c ~= log2(n) - 3. CPU libraries do not
-    // fully fast-path sparse scalars: 0/1 entries still cost roughly one
-    // bucket access each.
-    double bits = std::max(1.0, std::log2(std::max(2.0, wl.numPoints)));
-    double c = std::max(1.0, bits - 3.0);
-    double windows = std::ceil(255.0 / c);
-    double bucket_adds = wl.numPoints * wl.fracDense() * windows +
-                         wl.numPoints * (wl.fracOne + wl.fracZero);
-    double agg_adds = windows * 2.0 * std::pow(2.0, c);
-    double doublings = 255.0;
-    return bucket_adds + agg_adds + doublings;
+    return msmFieldMuls(wl) / ec::msm_cost::kMixedAdd;
 }
 
 double
 CpuModel::msmMs(const MsmWorkload &wl) const
 {
-    return msmPointAdds(wl) * nsPerPointAdd() / 1e6;
+    return msmFieldMuls(wl) * nsPerFieldMul() / 1e6;
 }
 
 CpuModel::ProtocolBreakdown
