@@ -7,7 +7,13 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cmath>
 #include <map>
+#include <thread>
 
 #include "ec/msm.hpp"
 #include "engine/service.hpp"
@@ -600,5 +606,88 @@ BM_ServiceThroughput(benchmark::State &state)
     state.counters["lane_threads"] = double(service.laneThreadBudget());
 }
 BENCHMARK(BM_ServiceThroughput)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// Mixed-load tail latency: one large proof plus a burst of small proofs per
+// iteration on a 2-lane service. Arg 0 is the FIFO-like baseline (equal
+// priorities, no sharding); arg 1 is the scheduled mode (smalls at higher
+// priority, intra-proof sharding on), where the phase-split scheduler can
+// interleave small jobs between the large proof's setup and online phases.
+// The counter to watch is small_p99_ms: the small-request tail must not be
+// held hostage by the large request. Latencies are measured per request by
+// a dedicated waiter thread (submit -> future resolution, wall clock).
+// ---------------------------------------------------------------------------
+
+static void
+BM_ServiceMixedLoad(benchmark::State &state)
+{
+    const bool scheduled = state.range(0) != 0;
+    constexpr int kSmall = 8;
+
+    static ff::Rng mixRng(47);
+    static pcs::Srs mixSrs = pcs::Srs::generate(8, mixRng);
+    static engine::ProverContext mixCtx(mixSrs, {.threads = 2});
+    static hyperplonk::Circuit largeCircuit =
+        hyperplonk::randomVanillaCircuit(7, mixRng);
+    static hyperplonk::Circuit smallCircuit =
+        hyperplonk::randomVanillaCircuit(4, mixRng);
+    static const hyperplonk::Keys *largeKeys = &mixCtx.preprocess(largeCircuit);
+    static const hyperplonk::Keys *smallKeys = &mixCtx.preprocess(smallCircuit);
+
+    engine::ServiceOptions so;
+    so.lanes = 2;
+    so.sharding = scheduled;
+    so.shardMinRows = std::size_t(1) << 6; // large may shard, smalls never
+    engine::ProofService service(mixCtx, so);
+
+    engine::SubmitOptions smallSub;
+    smallSub.priority = scheduled ? 1 : 0;
+
+    std::vector<double> smallMs;
+    std::atomic<bool> failed{false};
+    for (auto _ : state) {
+        auto largeFut =
+            service.submit({&largeKeys->pk, &largeCircuit, nullptr});
+        std::array<double, kSmall> lat{};
+        std::vector<std::thread> waiters;
+        waiters.reserve(kSmall);
+        for (int i = 0; i < kSmall; ++i) {
+            waiters.emplace_back([&, i] {
+                const auto t0 = std::chrono::steady_clock::now();
+                engine::ProofResult r =
+                    service
+                        .submit({&smallKeys->pk, &smallCircuit, nullptr},
+                                smallSub)
+                        .get();
+                lat[i] = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+                if (!r.ok)
+                    failed.store(true);
+            });
+        }
+        for (std::thread &t : waiters)
+            t.join();
+        if (!largeFut.get().ok || failed.load())
+            state.SkipWithError("proof failed under mixed load");
+        smallMs.insert(smallMs.end(), lat.begin(), lat.end());
+    }
+    std::sort(smallMs.begin(), smallMs.end());
+    if (!smallMs.empty()) {
+        const auto at = [&](double q) {
+            const std::size_t n = smallMs.size();
+            std::size_t idx = std::size_t(std::ceil(q * double(n)));
+            return smallMs[std::min(idx == 0 ? 0 : idx - 1, n - 1)];
+        };
+        state.counters["small_p50_ms"] = at(0.5);
+        state.counters["small_p99_ms"] = at(0.99);
+    }
+    state.SetItemsProcessed(state.iterations() * (kSmall + 1));
+}
+BENCHMARK(BM_ServiceMixedLoad)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 BENCHMARK_MAIN();

@@ -20,12 +20,27 @@ const hyperplonk::Keys &
 ProverContext::preprocess(const hyperplonk::Circuit &circuit)
 {
     assert(srsRef != nullptr && "attach an SRS before preprocessing");
-    rt::ScopedConfig scope(cfg);
-    ec::ScopedMsmOptions msm_scope(msmOpts);
+    rt::ScopedConfig scope(config());
+    ec::ScopedMsmOptions msm_scope(msmOptions());
     hyperplonk::Keys keys = hyperplonk::setup(circuit, *srsRef);
     std::lock_guard<std::mutex> lock(keysMu);
     ownedKeys.push_back(std::move(keys));
     return ownedKeys.back();
+}
+
+hyperplonk::ProveOptions
+ProverContext::proveOptions(const rt::Config *rtOverride,
+                            rt::UnitRunner *units) const
+{
+    hyperplonk::ProveOptions opts;
+    {
+        std::lock_guard<std::mutex> lock(cfgMu);
+        opts.rt = rtOverride ? *rtOverride : cfg;
+        opts.msm = msmOpts;
+    }
+    opts.plans = &planCache;
+    opts.units = units;
+    return opts;
 }
 
 hyperplonk::HyperPlonkProof
@@ -34,11 +49,7 @@ ProverContext::prove(const hyperplonk::ProvingKey &pk,
                      hyperplonk::ProverStats *stats,
                      const rt::Config *rtOverride) const
 {
-    hyperplonk::ProveOptions opts;
-    opts.rt = rtOverride ? *rtOverride : cfg;
-    opts.plans = &planCache;
-    opts.msm = msmOpts;
-    return hyperplonk::prove(pk, circuit, stats, opts);
+    return hyperplonk::prove(pk, circuit, stats, proveOptions(rtOverride));
 }
 
 ProverContext &

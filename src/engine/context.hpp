@@ -47,19 +47,40 @@ class ProverContext
     void attachSrs(const pcs::Srs &srs) { srsRef = &srs; }
     const pcs::Srs *srs() const { return srsRef; }
 
-    const rt::Config &config() const { return cfg; }
-    /** Not synchronized against in-flight proofs; reconfigure between
-     *  batches, not during one. An existing ProofService keeps its thread
-     *  split and lane pools (fixed at its construction) but picks up the
-     *  other fields for subsequent jobs. */
-    void setConfig(const rt::Config &c) { cfg = c; }
+    /** Snapshot of the context config. Returned by value so concurrent
+     *  setConfig() calls are safe: a job reads one coherent config at
+     *  dispatch and is unaffected by swaps mid-proof. */
+    rt::Config config() const
+    {
+        std::lock_guard<std::mutex> lock(cfgMu);
+        return cfg;
+    }
+    /** Safe to call while proofs are in flight: in-flight jobs keep the
+     *  snapshot they dispatched with, subsequent jobs pick the new value
+     *  up. An existing ProofService keeps its thread split and lane pools
+     *  (fixed at its construction) but applies the other fields (e.g.
+     *  minGrain) to subsequent jobs. */
+    void setConfig(const rt::Config &c)
+    {
+        std::lock_guard<std::mutex> lock(cfgMu);
+        cfg = c;
+    }
 
     /** MSM algorithm knobs (window width, signed digits, batched-affine
      *  buckets) applied to every proof and preprocessing run made through
      *  this context. Proofs are byte-identical under every value — this is
-     *  a tuning/experimentation knob, same contract as setConfig. */
-    const ec::MsmOptions &msmOptions() const { return msmOpts; }
-    void setMsmOptions(const ec::MsmOptions &o) { msmOpts = o; }
+     *  a tuning/experimentation knob, same contract as setConfig (snapshot
+     *  semantics, safe against concurrent swaps). */
+    ec::MsmOptions msmOptions() const
+    {
+        std::lock_guard<std::mutex> lock(cfgMu);
+        return msmOpts;
+    }
+    void setMsmOptions(const ec::MsmOptions &o)
+    {
+        std::lock_guard<std::mutex> lock(cfgMu);
+        msmOpts = o;
+    }
 
     /** Per-context compiled-plan cache (thread-safe). */
     gates::PlanCache &plans() const { return planCache; }
@@ -86,8 +107,19 @@ class ProverContext
           hyperplonk::ProverStats *stats = nullptr,
           const rt::Config *rtOverride = nullptr) const;
 
+    /**
+     * Assemble the ProveOptions a phase call (hyperplonk::proveSetup /
+     * proveOnline) needs: a coherent config+MSM snapshot, this context's
+     * plan cache, and optionally a cross-lane unit runner. ProofService
+     * uses this to dispatch phases directly.
+     */
+    hyperplonk::ProveOptions
+    proveOptions(const rt::Config *rtOverride = nullptr,
+                 rt::UnitRunner *units = nullptr) const;
+
   private:
     const pcs::Srs *srsRef = nullptr;
+    mutable std::mutex cfgMu; ///< Guards cfg and msmOpts.
     rt::Config cfg;
     ec::MsmOptions msmOpts;
     mutable gates::PlanCache planCache;

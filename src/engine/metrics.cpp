@@ -1,0 +1,79 @@
+#include "engine/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zkphire::engine {
+
+namespace {
+
+/** Bucket index for a sample in milliseconds: floor(log2(us)), clamped. */
+std::size_t
+bucketFor(double ms)
+{
+    const double us = ms * 1000.0;
+    if (!(us >= 1.0)) // sub-us, zero, or NaN
+        return 0;
+    int b = int(std::floor(std::log2(us)));
+    if (b < 0)
+        b = 0;
+    if (std::size_t(b) >= LatencyHistogram::kBuckets)
+        b = int(LatencyHistogram::kBuckets) - 1;
+    return std::size_t(b);
+}
+
+} // namespace
+
+void
+LatencyHistogram::record(double ms)
+{
+    if (ms < 0)
+        ms = 0;
+    ++counts[bucketFor(ms)];
+    ++total;
+    sum_ms += ms;
+    max_ms = std::max(max_ms, ms);
+}
+
+double
+LatencyHistogram::quantileMs(double q) const
+{
+    if (total == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the target sample (1-based ceiling, the standard nearest-rank
+    // definition); walk the buckets to the one containing it.
+    const std::uint64_t rank =
+        std::max<std::uint64_t>(1, std::uint64_t(std::ceil(q * double(total))));
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+        if (counts[b] == 0)
+            continue;
+        if (seen + counts[b] >= rank) {
+            // Interpolate linearly inside [2^b, 2^(b+1)) us by the rank's
+            // position among this bucket's samples.
+            const double lo_us = b == 0 ? 0.0 : std::ldexp(1.0, int(b));
+            const double hi_us = std::ldexp(1.0, int(b) + 1);
+            const double frac =
+                double(rank - seen) / double(counts[b]); // (0, 1]
+            const double us = lo_us + frac * (hi_us - lo_us);
+            // Never report beyond the observed maximum (the top bucket is
+            // open-ended).
+            return std::min(us / 1000.0, max_ms);
+        }
+        seen += counts[b];
+    }
+    return max_ms;
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    for (std::size_t b = 0; b < kBuckets; ++b)
+        counts[b] += other.counts[b];
+    total += other.total;
+    sum_ms += other.sum_ms;
+    max_ms = std::max(max_ms, other.max_ms);
+}
+
+} // namespace zkphire::engine

@@ -1,30 +1,63 @@
 #include "engine/service.hpp"
 
+#include <algorithm>
+#include <utility>
+
 #include "rt/parallel.hpp"
 
 namespace zkphire::engine {
 
-ProofService::ProofService(const ProverContext &context, unsigned lanes)
-    : ctx(context)
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+toMs(Clock::duration d)
 {
-    if (lanes == 0)
-        lanes = 1;
-    const rt::Config &cfg = ctx.config();
+    return std::chrono::duration<double, std::milli>(d).count();
+}
+
+ProofResult
+errorResult(ProofStatus status, std::string error)
+{
+    ProofResult res;
+    res.ok = false;
+    res.status = status;
+    res.error = std::move(error);
+    return res;
+}
+
+} // namespace
+
+ProofService::ProofService(const ProverContext &context,
+                           const ServiceOptions &options)
+    : ctx(context), opts(options), startTime(Clock::now())
+{
+    if (opts.lanes == 0)
+        opts.lanes = 1;
+    const rt::Config cfg = ctx.config();
     const unsigned budget =
         cfg.threads != 0 ? cfg.threads : rt::ThreadPool::defaultThreads();
     // Even split, remainder to the first budget % lanes lanes, so the
     // aggregate equals the budget whenever lanes <= budget. With more lanes
     // than budgeted threads every lane runs serial (deliberate
     // oversubscription: queued jobs still make progress).
-    subBudget = budget / lanes;
+    subBudget = budget / opts.lanes;
     if (subBudget == 0)
         subBudget = 1;
-    const unsigned remainder = budget > lanes ? budget % lanes : 0;
-    laneThreads.reserve(lanes);
-    for (unsigned i = 0; i < lanes; ++i) {
-        const unsigned laneBudget = subBudget + (i < remainder ? 1 : 0);
-        laneThreads.emplace_back([this, laneBudget] { laneLoop(laneBudget); });
-    }
+    const unsigned remainder = budget > opts.lanes ? budget % opts.lanes : 0;
+    budgets.resize(opts.lanes);
+    for (unsigned i = 0; i < opts.lanes; ++i)
+        budgets[i] = subBudget + (i < remainder ? 1 : 0);
+    slots.resize(opts.lanes); // before any lane thread can touch its slot
+    laneThreads.reserve(opts.lanes);
+    for (unsigned i = 0; i < opts.lanes; ++i)
+        laneThreads.emplace_back([this, i] { laneLoop(i); });
+}
+
+ProofService::ProofService(const ProverContext &context, unsigned lanes)
+    : ProofService(context, ServiceOptions{lanes})
+{
 }
 
 ProofService::~ProofService()
@@ -33,22 +66,105 @@ ProofService::~ProofService()
         std::lock_guard<std::mutex> lk(qMu);
         stopping = true;
     }
-    qCv.notify_all();
+    qCv.notify_all();    // lanes: drain, then exit
+    admitCv.notify_all();// blocked submitters: resolve ServiceStopping
     for (std::thread &t : laneThreads)
         t.join();
+    // The lanes drain the queue before exiting (including online-phase
+    // re-enqueues, which the re-enqueuing lane can always still pick up),
+    // so nothing should be left. Belt-and-braces: a promise must never be
+    // destroyed unfulfilled, so resolve anything that somehow remains.
+    for (std::unique_ptr<Job> &job : queue) {
+        {
+            std::lock_guard<std::mutex> mlk(mMu);
+            ++m.rejectedStopping;
+        }
+        job->done.set_value(
+            errorResult(ProofStatus::ServiceStopping, "service stopping"));
+    }
+    queue.clear();
 }
 
 std::future<ProofResult>
 ProofService::submit(const ProofRequest &req)
 {
-    Job job;
-    job.req = req;
-    std::future<ProofResult> fut = job.done.get_future();
+    return submit(req, SubmitOptions{});
+}
+
+std::future<ProofResult>
+ProofService::submit(const ProofRequest &req, const SubmitOptions &sub)
+{
+    auto job = std::make_unique<Job>();
+    job->req = req;
+    job->sub = sub;
+    std::future<ProofResult> fut = job->done.get_future();
+
     {
-        std::lock_guard<std::mutex> lk(qMu);
+        std::lock_guard<std::mutex> mlk(mMu);
+        ++m.submitted;
+    }
+    if (sub.deadline <= Clock::now()) {
+        std::lock_guard<std::mutex> mlk(mMu);
+        ++m.rejectedDeadline;
+        job->done.set_value(errorResult(ProofStatus::DeadlineExpired,
+                                        "deadline already expired"));
+        return fut;
+    }
+
+    {
+        std::unique_lock<std::mutex> lk(qMu);
+        // Closes the submit/shutdown race: once stopping is set under qMu,
+        // nothing may enter the queue — the job resolves here instead of
+        // riding a queue the lanes may already have drained past.
+        const auto rejectStopping = [&] {
+            std::lock_guard<std::mutex> mlk(mMu);
+            ++m.rejectedStopping;
+            job->done.set_value(errorResult(ProofStatus::ServiceStopping,
+                                            "service stopping"));
+        };
+        if (stopping) {
+            rejectStopping();
+            return fut;
+        }
+        if (opts.queueCapacity != 0 && setupQueued >= opts.queueCapacity) {
+            if (opts.admission == AdmissionPolicy::Reject) {
+                std::lock_guard<std::mutex> mlk(mMu);
+                ++m.rejectedQueueFull;
+                job->done.set_value(errorResult(
+                    ProofStatus::QueueFull, "admission queue at capacity"));
+                return fut;
+            }
+            // Block: park until space frees, the service stops, or the
+            // job's own deadline passes while waiting at the door.
+            const auto admissible = [&] {
+                return stopping || setupQueued < opts.queueCapacity;
+            };
+            if (sub.deadline == Clock::time_point::max()) {
+                admitCv.wait(lk, admissible);
+            } else if (!admitCv.wait_until(lk, sub.deadline, admissible)) {
+                std::lock_guard<std::mutex> mlk(mMu);
+                ++m.rejectedDeadline;
+                job->done.set_value(
+                    errorResult(ProofStatus::DeadlineExpired,
+                                "deadline expired while blocked at admission"));
+                return fut;
+            }
+            if (stopping) {
+                rejectStopping();
+                return fut;
+            }
+        }
+        job->seq = nextSeq++;
+        job->accepted = job->enqueued = Clock::now();
+        ++setupQueued;
         queue.push_back(std::move(job));
+        recallHelpersLocked();
     }
     qCv.notify_one();
+    {
+        std::lock_guard<std::mutex> mlk(mMu);
+        ++m.accepted;
+    }
     return fut;
 }
 
@@ -66,54 +182,279 @@ ProofService::proveAll(const std::vector<ProofRequest> &reqs)
     return results;
 }
 
-ProofResult
-ProofService::runJob(const ProofRequest &req, const rt::Config &laneCfg)
+ServiceMetrics
+ProofService::metrics() const
 {
-    ProofResult res;
-    if (req.pk == nullptr || req.circuit == nullptr) {
-        res.error = "ProofRequest missing proving key or circuit";
-        return res;
+    ServiceMetrics out;
+    {
+        std::lock_guard<std::mutex> lk(qMu);
+        out.queueDepth = queue.size();
     }
-    try {
-        res.proof = ctx.prove(*req.pk, *req.circuit, &res.stats, &laneCfg);
-        res.ok = true;
-        if (req.stats != nullptr)
-            *req.stats = res.stats;
-    } catch (const std::exception &e) {
-        res.ok = false;
-        res.error = e.what();
-    } catch (...) {
-        res.ok = false;
-        res.error = "unknown prover error";
+    {
+        std::lock_guard<std::mutex> mlk(mMu);
+        out.submitted = m.submitted;
+        out.accepted = m.accepted;
+        out.rejectedQueueFull = m.rejectedQueueFull;
+        out.rejectedDeadline = m.rejectedDeadline;
+        out.rejectedStopping = m.rejectedStopping;
+        out.completed = m.completed;
+        out.failed = m.failed;
+        out.expiredDeadline = m.expiredDeadline;
+        out.shardedPhases = m.shardedPhases;
+        out.shardHelperLanes = m.shardHelperLanes;
+        out.shardRecalls = m.shardRecalls;
+        out.inFlight = m.inFlight;
+        out.queueWaitMs = m.queueWaitMs;
+        out.setupMs = m.setupMs;
+        out.onlineMs = m.onlineMs;
+        out.totalMs = m.totalMs;
     }
-    return res;
+    out.uptimeMs = toMs(Clock::now() - startTime);
+    out.proofsPerSec =
+        out.uptimeMs > 0 ? double(out.completed) / (out.uptimeMs / 1000.0) : 0;
+    return out;
+}
+
+/** Best runnable entry: priority desc, deadline asc (EDF), online phase
+ *  before setup (finish started proofs first), then admission order.
+ *  Linear scan — service queues are tens of entries, not thousands. */
+std::unique_ptr<ProofService::Job>
+ProofService::takeBestLocked()
+{
+    auto best = queue.begin();
+    for (auto it = std::next(queue.begin()); it != queue.end(); ++it) {
+        const Job &a = **it, &b = **best;
+        bool better;
+        if (a.sub.priority != b.sub.priority)
+            better = a.sub.priority > b.sub.priority;
+        else if (a.sub.deadline != b.sub.deadline)
+            better = a.sub.deadline < b.sub.deadline;
+        else if (a.phase != b.phase)
+            better = a.phase == Phase::Online;
+        else
+            better = a.seq < b.seq;
+        if (better)
+            best = it;
+    }
+    std::unique_ptr<Job> job = std::move(*best);
+    queue.erase(best);
+    if (job->phase == Phase::Setup) {
+        --setupQueued;
+        admitCv.notify_one(); // one blocked submitter may now fit
+    }
+    return job;
 }
 
 void
-ProofService::laneLoop(unsigned laneBudget)
+ProofService::recallHelpersLocked()
+{
+    if (activeGroups.empty())
+        return;
+    for (ShardGroup *group : activeGroups)
+        group->recall();
+    std::lock_guard<std::mutex> mlk(mMu);
+    ++m.shardRecalls;
+}
+
+rt::Config
+ProofService::laneConfig(unsigned lane) const
+{
+    // Thread split and pool identity are fixed at construction; the other
+    // config fields (e.g. minGrain) come from a synchronized snapshot so
+    // ProverContext::setConfig is safe against in-flight dispatches.
+    rt::Config cfg = ctx.config();
+    cfg.threads = budgets[lane];
+    cfg.pool = slots[lane].pool; // written once by this lane's own thread
+    return cfg;
+}
+
+void
+ProofService::finish(std::unique_ptr<Job> job, ProofStatus status,
+                     std::string error)
+{
+    ProofResult res = std::move(job->res);
+    res.status = status;
+    res.ok = status == ProofStatus::Ok;
+    res.error = std::move(error);
+    {
+        // inFlight was taken when the lane picked the job up; release it
+        // BEFORE resolving the promise so a caller who snapshots metrics
+        // the moment its future fires sees a consistent gauge.
+        std::lock_guard<std::mutex> mlk(mMu);
+        --m.inFlight;
+        switch (status) {
+        case ProofStatus::Ok:
+            ++m.completed;
+            m.totalMs.record(toMs(Clock::now() - job->accepted));
+            break;
+        case ProofStatus::DeadlineExpired:
+            ++m.expiredDeadline;
+            break;
+        case ProofStatus::ServiceStopping:
+            ++m.rejectedStopping;
+            break;
+        default:
+            ++m.failed;
+            break;
+        }
+    }
+    job->done.set_value(std::move(res));
+}
+
+std::unique_ptr<ProofService::Job>
+ProofService::runPhase(unsigned lane, std::unique_ptr<Job> job,
+                       ShardGroup *group, unsigned groupWidth)
+{
+    if (job->req.pk == nullptr || job->req.circuit == nullptr) {
+        finish(std::move(job), ProofStatus::BadRequest,
+               "ProofRequest missing proving key or circuit");
+        return nullptr;
+    }
+    const rt::Config laneCfg = laneConfig(lane);
+    const hyperplonk::ProveOptions popts = ctx.proveOptions(&laneCfg, group);
+    job->res.shardLanes = std::max(job->res.shardLanes, groupWidth);
+    const Clock::time_point t0 = Clock::now();
+    try {
+        if (job->phase == Phase::Setup) {
+            job->setup.emplace(hyperplonk::proveSetup(
+                *job->req.pk, *job->req.circuit, &job->res.stats, popts));
+            {
+                std::lock_guard<std::mutex> mlk(mMu);
+                m.setupMs.record(toMs(Clock::now() - t0));
+            }
+            job->phase = Phase::Online;
+            return job; // re-enqueue for the online phase
+        }
+        job->res.proof = hyperplonk::proveOnline(
+            *job->req.pk, std::move(*job->setup), &job->res.stats, popts);
+        job->setup.reset();
+        {
+            std::lock_guard<std::mutex> mlk(mMu);
+            m.onlineMs.record(toMs(Clock::now() - t0));
+        }
+        if (job->req.stats != nullptr)
+            *job->req.stats = job->res.stats;
+        finish(std::move(job), ProofStatus::Ok, {});
+    } catch (const std::exception &e) {
+        finish(std::move(job), ProofStatus::ProverError, e.what());
+    } catch (...) {
+        finish(std::move(job), ProofStatus::ProverError,
+               "unknown prover error");
+    }
+    return nullptr;
+}
+
+void
+ProofService::laneLoop(unsigned lane)
 {
     // Each lane owns a private chunked pool sized to its sub-budget, so
     // in-flight jobs never serialize on one pool's region lock. A
     // sub-budget of 1 spawns no workers and the lane runs fully serial.
-    rt::ThreadPool lanePool(laneBudget);
+    rt::ThreadPool lanePool(budgets[lane]);
+    {
+        std::lock_guard<std::mutex> lk(qMu);
+        slots[lane].pool = &lanePool;
+    }
 
     for (;;) {
-        Job job;
+        std::unique_ptr<Job> job;
+        ShardGroup *joined = nullptr;
+        ShardGroup group;
+        unsigned helpers = 0;
         {
             std::unique_lock<std::mutex> lk(qMu);
-            qCv.wait(lk, [&] { return stopping || !queue.empty(); });
-            if (queue.empty())
-                return; // stopping, and every queued job already drained
-            job = std::move(queue.front());
-            queue.pop_front();
+            slots[lane].idle = true;
+            ++idleLanes;
+            qCv.wait(lk, [&] {
+                return slots[lane].joinGroup != nullptr || stopping ||
+                       !queue.empty();
+            });
+            if (slots[lane].joinGroup != nullptr) {
+                // A dispatching lane reserved this one as a shard helper
+                // (it already cleared idle and took us out of idleLanes).
+                joined = std::exchange(slots[lane].joinGroup, nullptr);
+            } else {
+                slots[lane].idle = false;
+                --idleLanes;
+                if (queue.empty())
+                    return; // stopping, and every queued job drained
+                job = takeBestLocked();
+                if (Clock::now() > job->sub.deadline) {
+                    lk.unlock();
+                    {
+                        std::lock_guard<std::mutex> mlk(mMu);
+                        m.queueWaitMs.record(
+                            toMs(Clock::now() - job->enqueued));
+                        ++m.inFlight; // finish() releases it
+                    }
+                    finish(std::move(job), ProofStatus::DeadlineExpired,
+                           "deadline expired while queued");
+                    continue;
+                }
+                // Shard decision, made while still holding qMu so the idle
+                // set is coherent: only when nothing else is runnable, the
+                // proof is big enough to amortize cross-lane hand-off, and
+                // lanes are actually idle.
+                if (opts.sharding && queue.empty() && idleLanes > 0 &&
+                    job->req.circuit != nullptr &&
+                    job->req.circuit->numRows() >= opts.shardMinRows) {
+                    const unsigned cap =
+                        opts.maxShardLanes == 0 ? numLanes()
+                                                : opts.maxShardLanes;
+                    const unsigned maxHelpers = cap > 1 ? cap - 1 : 0;
+                    for (unsigned i = 0;
+                         i < slots.size() && helpers < maxHelpers; ++i) {
+                        if (i == lane || !slots[i].idle)
+                            continue;
+                        slots[i].idle = false;
+                        --idleLanes;
+                        slots[i].joinGroup = &group;
+                        group.expectHelper();
+                        ++helpers;
+                    }
+                    if (helpers > 0)
+                        activeGroups.push_back(&group);
+                }
+            }
         }
-        // Thread split and pool size are fixed at service construction;
-        // the other config fields (minGrain) are re-read per job so
-        // ProverContext::setConfig between batches takes effect.
-        rt::Config laneCfg = ctx.config();
-        laneCfg.threads = laneBudget;
-        laneCfg.pool = &lanePool;
-        job.done.set_value(runJob(job.req, laneCfg));
+        if (joined != nullptr) {
+            joined->helperServe(laneConfig(lane));
+            continue;
+        }
+        if (helpers > 0) {
+            qCv.notify_all(); // wake the reserved lanes into helperServe
+            std::lock_guard<std::mutex> mlk(mMu);
+            ++m.shardedPhases;
+            m.shardHelperLanes += helpers;
+        }
+        {
+            std::lock_guard<std::mutex> mlk(mMu);
+            m.queueWaitMs.record(toMs(Clock::now() - job->enqueued));
+            ++m.inFlight;
+        }
+        std::unique_ptr<Job> back = runPhase(
+            lane, std::move(job), helpers > 0 ? &group : nullptr, 1 + helpers);
+        if (helpers > 0) {
+            std::lock_guard<std::mutex> lk(qMu);
+            activeGroups.erase(std::find(activeGroups.begin(),
+                                         activeGroups.end(), &group));
+        }
+        group.disband();
+        if (back != nullptr) {
+            // Setup done, not resolved: back to the queue for the online
+            // phase (finish() releases inFlight on the terminal paths).
+            {
+                std::lock_guard<std::mutex> mlk(mMu);
+                --m.inFlight;
+            }
+            back->enqueued = Clock::now();
+            {
+                std::lock_guard<std::mutex> lk(qMu);
+                queue.push_back(std::move(back));
+                recallHelpersLocked();
+            }
+            qCv.notify_one();
+        }
     }
 }
 

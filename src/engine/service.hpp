@@ -1,41 +1,72 @@
 /**
  * @file
- * ProofService: a job-based prover frontend over one ProverContext.
+ * ProofService: a traffic-worthy proof factory over one ProverContext.
  *
- * The service decouples workload submission from backend execution: callers
- * enqueue ProofRequests (proving key + witness-bearing circuit + optional
- * stats sink) and receive futures that resolve to ProofResults. Jobs run on
- * a fixed set of lanes — lanes == 1 is a sequential service; lanes == N
- * keeps N proofs in flight at once.
+ * The service decouples workload submission from backend execution. Callers
+ * submit ProofRequests — with an optional priority and deadline — and
+ * receive futures that resolve to ProofResults. Errors are NEVER thrown
+ * through a future: every accepted or rejected submission resolves with a
+ * typed ProofStatus, including submissions that race the destructor
+ * (ServiceStopping) and jobs whose deadline passes while queued
+ * (DeadlineExpired).
+ *
+ * Admission: the queue is bounded by ServiceOptions::queueCapacity (0 =
+ * unbounded). At capacity, AdmissionPolicy::Block parks the submitting
+ * thread until space frees (or the service stops); AdmissionPolicy::Reject
+ * resolves the future immediately with QueueFull.
+ *
+ * Scheduling: lanes pick the best runnable entry instead of FIFO order —
+ * highest priority first, then earliest deadline, then online-phase
+ * entries before setup-phase entries (finish started work first), then
+ * arrival order. Each proof runs as a two-phase lifecycle (the
+ * hyperplonk::proveSetup / proveOnline split): after setup the job is
+ * re-enqueued, so the setup of one request overlaps the online phase of
+ * another and a lane is never pinned to one request end-to-end.
+ *
+ * Intra-proof sharding: when a lane dispatches a phase, the queue is empty,
+ * and other lanes are idle, the idle lanes are reserved as helpers
+ * (engine::ShardGroup) and the proof's independent work units — per-column
+ * commitment MSMs, per-round sumcheck range splits, the two opening
+ * chains — spread across them. One huge request therefore uses the whole
+ * machine when it is alone, without monopolizing it when it is not: groups
+ * last a single phase and idleness is re-evaluated at every phase boundary.
  *
  * Thread budgeting: the context's budget (config().threads, or the runtime
- * default when 0) is split across the lanes (even split, remainder to the
- * first lanes), and every lane owns a PRIVATE rt::ThreadPool of its
- * sub-budget. Concurrent jobs therefore never contend on one pool's region
- * lock, and for lanes <= budget the aggregate worker count equals the
- * configured budget regardless of how many jobs are in flight; asking for
- * more lanes than budgeted threads oversubscribes (one serial thread per
- * lane). The split and the pools are fixed at construction — a later
- * ProverContext::setConfig changes the remaining fields (e.g. minGrain)
- * for subsequent jobs, but not the thread split.
+ * default when 0) is split evenly across the lanes (remainder to the first
+ * lanes — laneThreadBudgets() exposes the exact split), and every lane owns
+ * a PRIVATE rt::ThreadPool of its sub-budget, so in-flight jobs never
+ * contend on one pool's region lock. Asking for more lanes than budgeted
+ * threads oversubscribes (one serial thread per lane). The split and the
+ * pools are fixed at construction; ProverContext::setConfig changes the
+ * remaining fields (e.g. minGrain) for subsequent jobs.
  *
- * Determinism: every kernel in the prover is bit-identical at any thread
- * count, so a job's proof is byte-identical to the single-shot
- * hyperplonk::prove path for the same circuit — independent of the lane
- * count, the sub-budget, or what other jobs are running
- * (tests/test_engine.cpp locks this).
+ * Determinism: every kernel is bit-identical at any thread count, and every
+ * sharded work unit writes index-addressed slots merged in index order, so
+ * a job's proof is byte-identical to the single-shot hyperplonk::prove path
+ * for the same circuit — independent of the lane count, the shard width,
+ * the schedule, or what other jobs are running (tests/test_engine.cpp and
+ * tests/test_engine_sched.cpp lock this).
+ *
+ * Observability: metrics() snapshots admission/outcome counters, queue
+ * depth, sharding usage, and per-phase latency histograms with p50/p99
+ * (engine/metrics.hpp).
  */
 #ifndef ZKPHIRE_ENGINE_SERVICE_HPP
 #define ZKPHIRE_ENGINE_SERVICE_HPP
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <future>
+#include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "engine/context.hpp"
+#include "engine/metrics.hpp"
+#include "engine/shard.hpp"
 
 namespace zkphire::engine {
 
@@ -48,57 +79,176 @@ struct ProofRequest {
     hyperplonk::ProverStats *stats = nullptr;
 };
 
+/** Typed outcome of a submission (ProofResult::status). */
+enum class ProofStatus {
+    Ok,              ///< Proof produced.
+    BadRequest,      ///< Missing proving key or circuit.
+    QueueFull,       ///< Rejected at admission (Reject policy, queue full).
+    DeadlineExpired, ///< Deadline passed before a lane could run the job.
+    ServiceStopping, ///< Submitted against a stopping/destroyed service.
+    ProverError,     ///< The prover threw; error carries the message.
+};
+
 struct ProofResult {
     bool ok = false;
+    ProofStatus status = ProofStatus::ProverError;
     std::string error; ///< Set when ok == false.
     hyperplonk::HyperPlonkProof proof;
     hyperplonk::ProverStats stats;
+    /** Widest lane group (1 + helpers) any phase of this job ran with. */
+    unsigned shardLanes = 1;
+};
+
+/** Per-submission scheduling attributes. */
+struct SubmitOptions {
+    /** Higher runs earlier. Default 0. */
+    int priority = 0;
+    /** Absolute deadline; jobs still queued past it resolve with
+     *  DeadlineExpired (a job already executing is not aborted — expiry is
+     *  checked when a lane picks a phase up). Default: none. */
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
+
+    /** Convenience: a deadline dur from now. */
+    template <class Rep, class Period>
+    static SubmitOptions
+    deadlineIn(std::chrono::duration<Rep, Period> dur, int priority = 0)
+    {
+        return {priority, std::chrono::steady_clock::now() + dur};
+    }
+};
+
+/** What submit() does when the queue is at capacity. */
+enum class AdmissionPolicy {
+    Block,  ///< Park the submitter until space frees or the service stops.
+    Reject, ///< Resolve the future immediately with QueueFull.
+};
+
+struct ServiceOptions {
+    /** Jobs in flight at once (0 is treated as 1). */
+    unsigned lanes = 1;
+    /** Admission-queue bound (jobs accepted but not yet started); 0 =
+     *  unbounded. Online-phase re-enqueues never count against it. */
+    std::size_t queueCapacity = 0;
+    AdmissionPolicy admission = AdmissionPolicy::Block;
+    /** Master switch for intra-proof sharding onto idle lanes. */
+    bool sharding = true;
+    /** Cap on lanes one proof may occupy (owner + helpers); 0 = all. */
+    unsigned maxShardLanes = 0;
+    /** Row floor below which a proof never shards (the cross-lane wake and
+     *  merge costs need enough work to amortize). */
+    std::size_t shardMinRows = std::size_t(1) << 10;
 };
 
 class ProofService
 {
   public:
     /**
-     * @param ctx   Context supplying config and the shared plan cache; must
-     *              outlive the service.
-     * @param lanes Jobs in flight at once (0 is treated as 1).
+     * @param ctx     Context supplying config and the shared plan cache;
+     *                must outlive the service.
+     * @param options Lane count, admission bound/policy, sharding knobs.
      */
+    ProofService(const ProverContext &ctx, const ServiceOptions &options);
+    /** Convenience: lanes only, every other option at its default. */
     explicit ProofService(const ProverContext &ctx, unsigned lanes = 1);
 
-    /** Drains every queued job, then joins the lanes. */
+    /** Drains every queued job (deadlines still honored), then joins the
+     *  lanes. Jobs that lose the submit/shutdown race — and any job still
+     *  queued after the drain — resolve with ServiceStopping; no promise is
+     *  ever destroyed unfulfilled. */
     ~ProofService();
 
     ProofService(const ProofService &) = delete;
     ProofService &operator=(const ProofService &) = delete;
 
     unsigned numLanes() const { return unsigned(laneThreads.size()); }
-    /** Base per-lane thread budget (lanes covering the remainder of an
-     *  uneven split get one more). */
+    /** Minimum (base) per-lane thread budget. An uneven split gives the
+     *  first budget % lanes lanes one extra thread — sum over
+     *  laneThreadBudgets() for the aggregate, NOT numLanes() * this. */
     unsigned laneThreadBudget() const { return subBudget; }
+    /** Exact per-lane thread budgets; sums to the context budget whenever
+     *  lanes <= budget (the even-split invariant tests check). */
+    const std::vector<unsigned> &laneThreadBudgets() const { return budgets; }
 
     /** Enqueue one job; the future resolves when it completes. Errors are
-     *  reported in ProofResult::error, never thrown through the future. */
+     *  reported as a typed ProofResult, never thrown through the future. */
     std::future<ProofResult> submit(const ProofRequest &req);
+    std::future<ProofResult> submit(const ProofRequest &req,
+                                    const SubmitOptions &sub);
 
     /** Submit a batch and wait for all of it; results in request order. */
     std::vector<ProofResult> proveAll(const std::vector<ProofRequest> &reqs);
 
+    /** Consistent snapshot of counters, gauges, and latency histograms. */
+    ServiceMetrics metrics() const;
+
   private:
+    enum class Phase { Setup, Online };
+
     struct Job {
         ProofRequest req;
+        SubmitOptions sub;
         std::promise<ProofResult> done;
+        Phase phase = Phase::Setup;
+        std::uint64_t seq = 0; ///< Admission order, the final tiebreak.
+        std::chrono::steady_clock::time_point accepted;
+        std::chrono::steady_clock::time_point enqueued; ///< Current phase.
+        std::optional<hyperplonk::SetupState> setup;
+        ProofResult res; ///< Accumulates stats/shardLanes across phases.
     };
 
-    void laneLoop(unsigned laneBudget);
-    ProofResult runJob(const ProofRequest &req, const rt::Config &laneCfg);
+    /** Per-lane scheduler state (guarded by qMu). */
+    struct LaneSlot {
+        bool idle = false;
+        rt::ThreadPool *pool = nullptr;   ///< Set once by the lane thread.
+        ShardGroup *joinGroup = nullptr;  ///< Reservation as a helper.
+    };
+
+    void laneLoop(unsigned lane);
+    /** Run one phase of job outside qMu; returns the job back for
+     *  re-enqueue when it finished setup, null when it resolved. */
+    std::unique_ptr<Job> runPhase(unsigned lane, std::unique_ptr<Job> job,
+                                  ShardGroup *group, unsigned groupWidth);
+    std::unique_ptr<Job> takeBestLocked();
+    /** New work arrived: pull every live shard helper back to its lane
+     *  (qMu held — idle lanes are only borrowed while actually idle). */
+    void recallHelpersLocked();
+    void finish(std::unique_ptr<Job> job, ProofStatus status,
+                std::string error);
+    rt::Config laneConfig(unsigned lane) const;
 
     const ProverContext &ctx;
+    ServiceOptions opts;
     unsigned subBudget = 1;
+    std::vector<unsigned> budgets;
     std::vector<std::thread> laneThreads;
-    std::mutex qMu;
-    std::condition_variable qCv;
-    std::deque<Job> queue;
+
+    mutable std::mutex qMu;
+    std::condition_variable qCv;    ///< Lanes: work / reservation / stop.
+    std::condition_variable admitCv;///< Blocked submitters: space / stop.
+    std::deque<std::unique_ptr<Job>> queue;
+    std::vector<LaneSlot> slots;
+    std::vector<ShardGroup *> activeGroups; ///< Groups with live helpers.
+    std::size_t setupQueued = 0; ///< Queue entries counting against capacity.
+    unsigned idleLanes = 0;
+    std::uint64_t nextSeq = 0;
     bool stopping = false;
+
+    /** Counter/histogram state behind metrics(). Lock order: mMu is a leaf
+     *  — it may be taken while holding qMu, never the other way around. */
+    struct MetricsState {
+        std::uint64_t submitted = 0, accepted = 0;
+        std::uint64_t rejectedQueueFull = 0, rejectedDeadline = 0,
+                      rejectedStopping = 0;
+        std::uint64_t completed = 0, failed = 0, expiredDeadline = 0;
+        std::uint64_t shardedPhases = 0, shardHelperLanes = 0,
+                      shardRecalls = 0;
+        std::size_t inFlight = 0;
+        LatencyHistogram queueWaitMs, setupMs, onlineMs, totalMs;
+    };
+    mutable std::mutex mMu;
+    MetricsState m;
+    std::chrono::steady_clock::time_point startTime;
 };
 
 } // namespace zkphire::engine

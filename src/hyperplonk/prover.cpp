@@ -20,6 +20,73 @@ msSince(std::chrono::steady_clock::time_point t0)
         .count();
 }
 
+/** Fold one unit's private MSM counters into the proof-wide stats. Units
+ *  must never share one MsmStats (concurrent +=); each gets its own and the
+ *  owner merges them in unit order after the batch drains. */
+void
+mergeMsmStats(ec::MsmStats &into, const ec::MsmStats &part)
+{
+    into.pointAdds += part.pointAdds;
+    into.pointDoubles += part.pointDoubles;
+    into.trivialScalars += part.trivialScalars;
+    into.denseScalars += part.denseScalars;
+    into.affineAdds += part.affineAdds;
+    into.batchInversions += part.batchInversions;
+    into.recodeMs += part.recodeMs;
+    into.bucketMs += part.bucketMs;
+    into.foldMs += part.foldMs;
+}
+
+/** True when opts carry a runner that can actually spread work. */
+bool
+sharded(const ProveOptions &opts)
+{
+    return opts.units != nullptr && opts.units->width() > 1;
+}
+
+/**
+ * Commit a family of same-size columns, split into one contiguous column
+ * group per runner lane. Each group is a pcs::commitBatch on that lane's
+ * private pool; per-column commitments are independent of the batch
+ * grouping (locked by the ec::msmBatch bit-identity tests), so the merged
+ * column-ordered result equals the single commitBatch call exactly.
+ */
+std::vector<pcs::Commitment>
+commitColumnsSharded(const pcs::Srs &srs, std::span<const Mle> polys,
+                     const ProveOptions &opts, ec::MsmStats &stats)
+{
+    const std::size_t k = polys.size();
+    const std::size_t width =
+        std::min<std::size_t>(opts.units->width(), k);
+    const std::size_t stride = (k + width - 1) / width;
+    std::vector<std::vector<pcs::Commitment>> groups(width);
+    std::vector<ec::MsmStats> groupStats(width);
+    std::vector<std::function<void()>> units;
+    units.reserve(width);
+    for (std::size_t u = 0; u < width; ++u) {
+        const std::size_t b = u * stride;
+        const std::size_t e = std::min(k, b + stride);
+        units.push_back([&, b, e, u] {
+            if (b >= e)
+                return;
+            // Helper lanes have no ambient MSM options; re-apply the
+            // context's knobs so every group commits the same way.
+            ec::ScopedMsmOptions msmScope(opts.msm);
+            groups[u] =
+                pcs::commitBatch(srs, polys.subspan(b, e - b), &groupStats[u]);
+        });
+    }
+    opts.units->run(units);
+    std::vector<pcs::Commitment> comms;
+    comms.reserve(k);
+    for (std::size_t u = 0; u < width; ++u) {
+        for (auto &c : groups[u])
+            comms.push_back(c);
+        mergeMsmStats(stats, groupStats[u]);
+    }
+    return comms;
+}
+
 } // namespace
 
 Keys
@@ -52,41 +119,73 @@ setup(const Circuit &circuit, const pcs::Srs &srs)
     return keys;
 }
 
-HyperPlonkProof
-prove(const ProvingKey &pk, const Circuit &circuit, ProverStats *stats,
-      const ProveOptions &opts)
+SetupState
+proveSetup(const ProvingKey &pk, const Circuit &circuit, ProverStats *stats,
+           const ProveOptions &opts)
 {
     using Clock = std::chrono::steady_clock;
-    // Pin every phase (commitment MSMs, batch inversion, eq tables,
-    // sumchecks); a default config inherits the ambient setting. The inner
-    // sumcheck calls below pass a default rt::Config so they inherit this
-    // pin rather than re-applying one.
+    // Pin every kernel in this phase (witness synthesis, commitment MSMs);
+    // a default config inherits the ambient setting.
     rt::ScopedConfig scope(opts.rt);
     ec::ScopedMsmOptions msm_scope(opts.msm);
+    rt::ScopedUnitRunner unit_scope(opts.units);
     assert(circuit.system() == pk.sys);
     assert(circuit.numRows() == (std::size_t(1) << pk.mu));
 
-    HyperPlonkProof proof;
+    ProverStats local_stats;
+    ProverStats &st = stats ? *stats : local_stats;
+    const pcs::Srs &srs = *pk.srs;
+
+    SetupState state{HyperPlonkProof{},
+                     detail::beginTranscript(pk.sys, pk.mu, pk.selectorComms,
+                                             pk.sigmaComms),
+                     {}};
+
+    // ---- Step 1: Witness Commitments --------------------------------
+    auto t0 = Clock::now();
+    state.witness = circuit.witnessMles();
+    // One multi-MSM for all k columns: scalars are recoded once and the
+    // Lagrange basis is walked once per window instead of k times. With a
+    // shard runner the columns split into one group per lane instead
+    // (per-column results are grouping-independent, so the transcript is
+    // unchanged).
+    if (sharded(opts) && state.witness.size() > 1)
+        state.proof.witnessComms =
+            commitColumnsSharded(srs, state.witness, opts, st.msm);
+    else
+        state.proof.witnessComms = pcs::commitBatch(srs, state.witness, &st.msm);
+    for (const auto &c : state.proof.witnessComms)
+        pcs::appendG1(state.tr, "w_comm", c.point);
+    st.witnessCommitMs = msSince(t0);
+    return state;
+}
+
+HyperPlonkProof
+proveOnline(const ProvingKey &pk, SetupState setup_state, ProverStats *stats,
+            const ProveOptions &opts)
+{
+    using Clock = std::chrono::steady_clock;
+    // Pin every phase kernel (batch inversion, eq tables, sumchecks); the
+    // inner sumcheck calls below pass a default rt::Config so they inherit
+    // this pin rather than re-applying one. The unit-runner scope lets the
+    // sumcheck round evaluations shard their pair ranges across reserved
+    // lanes (sumcheck/prover.cpp).
+    rt::ScopedConfig scope(opts.rt);
+    ec::ScopedMsmOptions msm_scope(opts.msm);
+    rt::ScopedUnitRunner unit_scope(opts.units);
+
+    HyperPlonkProof proof = std::move(setup_state.proof);
+    hash::Transcript tr = std::move(setup_state.tr);
+    std::vector<Mle> witness = std::move(setup_state.witness);
+
     ProverStats local_stats;
     ProverStats &st = stats ? *stats : local_stats;
     const pcs::Srs &srs = *pk.srs;
     const unsigned k = numWitnessCols(pk.sys);
-
-    hash::Transcript tr = detail::beginTranscript(
-        pk.sys, pk.mu, pk.selectorComms, pk.sigmaComms);
-
-    // ---- Step 1: Witness Commitments --------------------------------
-    auto t0 = Clock::now();
-    std::vector<Mle> witness = circuit.witnessMles();
-    // One multi-MSM for all k columns: scalars are recoded once and the
-    // Lagrange basis is walked once per window instead of k times.
-    proof.witnessComms = pcs::commitBatch(srs, witness, &st.msm);
-    for (const auto &c : proof.witnessComms)
-        pcs::appendG1(tr, "w_comm", c.point);
-    st.witnessCommitMs = msSince(t0);
+    assert(witness.size() == k);
 
     // ---- Step 2: Gate Identity Check (ZeroCheck) ---------------------
-    t0 = Clock::now();
+    auto t0 = Clock::now();
     const gates::Gate &gate = coreGate(pk.sys);
     std::vector<Mle> gate_tables;
     gate_tables.reserve(gate.expr.numSlots());
@@ -141,11 +240,25 @@ prove(const ProvingKey &pk, const Circuit &circuit, ProverStats *stats,
     // ---- Step 4: Batch Evaluations (OpenChecks) ----------------------
     t0 = Clock::now();
     // Auxiliary claimed evaluations at z_p, absorbed before eta is drawn.
+    // Each column's pair of evaluations is an independent unit: sharded,
+    // column j still writes only slot j, so the absorbed vectors are
+    // identical to the serial loop.
     proof.wAtZp.resize(k);
     proof.sigmaAtZp.resize(k);
-    for (unsigned j = 0; j < k; ++j) {
-        proof.wAtZp[j] = witness[j].evaluate(z_p);
-        proof.sigmaAtZp[j] = pk.perm.sigma[j].evaluate(z_p);
+    if (sharded(opts) && k > 1) {
+        std::vector<std::function<void()>> units;
+        units.reserve(k);
+        for (unsigned j = 0; j < k; ++j)
+            units.push_back([&, j] {
+                proof.wAtZp[j] = witness[j].evaluate(z_p);
+                proof.sigmaAtZp[j] = pk.perm.sigma[j].evaluate(z_p);
+            });
+        opts.units->run(units);
+    } else {
+        for (unsigned j = 0; j < k; ++j) {
+            proof.wAtZp[j] = witness[j].evaluate(z_p);
+            proof.sigmaAtZp[j] = pk.perm.sigma[j].evaluate(z_p);
+        }
     }
     tr.appendFrVec("w_zp", proof.wAtZp);
     tr.appendFrVec("sigma_zp", proof.sigmaAtZp);
@@ -198,13 +311,40 @@ prove(const ProvingKey &pk, const Circuit &circuit, ProverStats *stats,
     // The two opening chains cannot be level-zipped: g has mu variables but
     // v has mu+1, and each level's quotient basis depends on the variable
     // set, so the chains share no points (pcs::openMany batches same-size
-    // chains when a workload has them).
-    proof.pcsA =
-        pcs::batchOpen(srs, polys_a, open_a.challenges, rho, &st.msm);
-    proof.pcsB = pcs::open(srs, v, open_b.challenges, &st.msm);
+    // chains when a workload has them). They ARE independent of each other
+    // — both challenges are already drawn — so sharded they run as two
+    // units on different lanes.
+    if (sharded(opts)) {
+        ec::MsmStats stats_a, stats_b;
+        const std::function<void()> chains[2] = {
+            [&] {
+                ec::ScopedMsmOptions msmScope(opts.msm);
+                proof.pcsA = pcs::batchOpen(srs, polys_a, open_a.challenges,
+                                            rho, &stats_a);
+            },
+            [&] {
+                ec::ScopedMsmOptions msmScope(opts.msm);
+                proof.pcsB = pcs::open(srs, v, open_b.challenges, &stats_b);
+            },
+        };
+        opts.units->run(chains);
+        mergeMsmStats(st.msm, stats_a);
+        mergeMsmStats(st.msm, stats_b);
+    } else {
+        proof.pcsA =
+            pcs::batchOpen(srs, polys_a, open_a.challenges, rho, &st.msm);
+        proof.pcsB = pcs::open(srs, v, open_b.challenges, &st.msm);
+    }
     st.openingMs = msSince(t0);
 
     return proof;
+}
+
+HyperPlonkProof
+prove(const ProvingKey &pk, const Circuit &circuit, ProverStats *stats,
+      const ProveOptions &opts)
+{
+    return proveOnline(pk, proveSetup(pk, circuit, stats, opts), stats, opts);
 }
 
 } // namespace zkphire::hyperplonk

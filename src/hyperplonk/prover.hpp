@@ -22,6 +22,7 @@
 #include "hyperplonk/proof.hpp"
 #include "pcs/mkzg.hpp"
 #include "rt/config.hpp"
+#include "rt/unit_runner.hpp"
 
 namespace zkphire::gates {
 class PlanCache;
@@ -88,7 +89,44 @@ struct ProveOptions {
      *  of the proof — commitment multi-MSMs and opening quotients. The
      *  transcript is identical under every value; only speed moves. */
     ec::MsmOptions msm;
+    /** Cross-lane executor for the proof's independent work units
+     *  (per-column commitment MSMs, per-round sumcheck range splits, the
+     *  two opening chains). Null runs every unit inline. Unit outputs are
+     *  merged in index order, so the transcript is bit-identical at every
+     *  runner width — engine::ProofService points this at a ShardGroup of
+     *  reserved idle lanes. */
+    rt::UnitRunner *units = nullptr;
 };
+
+/**
+ * Prover state carried from the setup phase to the online phase. Owns the
+ * partially-built proof (witness commitments), the Fiat-Shamir transcript
+ * positioned after the witness absorption, and the synthesized witness
+ * tables the online phase consumes. Movable across threads: a service lane
+ * can run proveSetup, park the state in its request object, and let a
+ * different lane finish with proveOnline.
+ */
+struct SetupState {
+    HyperPlonkProof proof;
+    hash::Transcript tr;
+    std::vector<Mle> witness;
+};
+
+/**
+ * Phase 1 ("setup"): witness synthesis + witness commitments (paper step 1).
+ * The MSM-bound half of the proof; engine::ProofService schedules it as its
+ * own stage so setup of one request overlaps the online phase of another.
+ */
+SetupState proveSetup(const ProvingKey &pk, const Circuit &circuit,
+                      ProverStats *stats, const ProveOptions &opts);
+
+/**
+ * Phase 2 ("online"): sumchecks and openings (paper steps 2-5) continuing a
+ * proveSetup result. prove() is exactly proveSetup + proveOnline, so the
+ * two-phase path is byte-identical to the one-shot path by construction.
+ */
+HyperPlonkProof proveOnline(const ProvingKey &pk, SetupState state,
+                            ProverStats *stats, const ProveOptions &opts);
 
 /**
  * Produce a HyperPlonk proof for a satisfying circuit (core entry point).

@@ -4,6 +4,7 @@
 
 #include "ff/batch_inverse.hpp"
 #include "rt/parallel.hpp"
+#include "rt/unit_runner.hpp"
 
 namespace zkphire::sumcheck {
 
@@ -72,34 +73,93 @@ accumulateRange(const VirtualPoly &vp, std::size_t begin, std::size_t end,
     }
 }
 
+/** Pair count below which cross-lane sharding of a round is not worth the
+ *  wake/merge round trip; the table halves every round, so late rounds of a
+ *  sharded sumcheck drop back to the single-lane path automatically. */
+constexpr std::size_t kShardMinPairs = 1u << 12;
+
 /**
- * Naive-path round evaluations via rt::parallelReduce over pair indices.
- * Field addition is exact, so per-chunk accumulators summed in chunk order
- * give the bit-identical result of the serial loop at any thread count.
+ * Accumulate fill(b, e, acc) over [0, half) into an accLen-wide accumulator.
+ *
+ * Two nested levels of the same deterministic decomposition:
+ *   - across lanes: when an ambient rt::UnitRunner is present (the engine's
+ *     ShardGroup while idle lanes are reserved for this proof), the pair
+ *     range splits into one contiguous sub-range per lane and each unit
+ *     accumulates its sub-range on that lane's private pool;
+ *   - within a lane: rt::parallelReduce chunks the (sub-)range over the
+ *     pool's workers.
+ * Partial accumulators are summed in ascending range order either way, and
+ * field addition is exact, so the result is bit-identical to the serial
+ * loop at any lane count and any thread count.
+ */
+template <class FillRange>
+std::vector<Fr>
+accumulatePairRange(std::size_t begin, std::size_t end, std::size_t acc_len,
+                    const FillRange &fill)
+{
+    if (rt::currentThreads() <= 1 || end - begin < 1024) {
+        std::vector<Fr> acc(acc_len, Fr::zero());
+        fill(begin, end, acc);
+        return acc;
+    }
+    return rt::parallelReduce<std::vector<Fr>>(
+        begin, end, std::vector<Fr>(acc_len, Fr::zero()),
+        [&](std::size_t b, std::size_t e) {
+            std::vector<Fr> part(acc_len, Fr::zero());
+            fill(b, e, part);
+            return part;
+        },
+        [&](std::vector<Fr> acc, std::vector<Fr> part) {
+            for (std::size_t p = 0; p < acc_len; ++p)
+                acc[p] += part[p];
+            return acc;
+        },
+        /*grain=*/0, /*minGrain=*/256);
+}
+
+template <class FillRange>
+std::vector<Fr>
+accumulatePairs(std::size_t half, std::size_t acc_len, const FillRange &fill)
+{
+    rt::UnitRunner *runner = rt::currentUnitRunner();
+    if (runner == nullptr || runner->width() <= 1 || half < kShardMinPairs)
+        return accumulatePairRange(0, half, acc_len, fill);
+
+    const std::size_t width = runner->width();
+    const std::size_t stride = (half + width - 1) / width;
+    std::vector<std::vector<Fr>> parts(width);
+    std::vector<std::function<void()>> units;
+    units.reserve(width);
+    for (std::size_t u = 0; u < width; ++u) {
+        const std::size_t b = u * stride;
+        const std::size_t e = std::min(half, b + stride);
+        units.push_back([&parts, &fill, acc_len, b, e, u] {
+            parts[u] = b < e ? accumulatePairRange(b, e, acc_len, fill)
+                             : std::vector<Fr>(acc_len, Fr::zero());
+        });
+    }
+    runner->run(units);
+    std::vector<Fr> acc = std::move(parts[0]);
+    for (std::size_t u = 1; u < width; ++u)
+        for (std::size_t p = 0; p < acc_len; ++p)
+            acc[p] += parts[u][p];
+    return acc;
+}
+
+/**
+ * Naive-path round evaluations. Field addition is exact, so partial
+ * accumulators summed in range order give the bit-identical result of the
+ * serial loop at any thread or lane count.
  */
 std::vector<Fr>
 roundEvaluationsNaive(const VirtualPoly &vp, std::size_t degree)
 {
     const std::size_t half = std::size_t(1) << (vp.numVars() - 1);
     const std::size_t num_points = degree + 1;
-    if (rt::currentThreads() <= 1 || half < 1024) {
-        std::vector<Fr> acc(num_points, Fr::zero());
-        accumulateRange(vp, 0, half, degree, acc);
-        return acc;
-    }
-    return rt::parallelReduce<std::vector<Fr>>(
-        0, half, std::vector<Fr>(num_points, Fr::zero()),
-        [&](std::size_t b, std::size_t e) {
-            std::vector<Fr> part(num_points, Fr::zero());
-            accumulateRange(vp, b, e, degree, part);
-            return part;
-        },
-        [&](std::vector<Fr> acc, std::vector<Fr> part) {
-            for (std::size_t p = 0; p < num_points; ++p)
-                acc[p] += part[p];
-            return acc;
-        },
-        /*grain=*/0, /*minGrain=*/256);
+    return accumulatePairs(
+        half, num_points, [&](std::size_t b, std::size_t e, std::vector<Fr> &acc) {
+            accumulateRange(vp, b, e, degree, acc);
+        });
 }
 
 /**
@@ -116,27 +176,11 @@ roundEvaluationsPlan(const VirtualPoly &vp)
     const poly::GatePlan &plan = vp.plan();
     const std::size_t half = std::size_t(1) << (vp.numVars() - 1);
     const std::size_t acc_len = plan.accSize();
-    std::vector<Fr> acc;
-    if (rt::currentThreads() <= 1 || half < 1024) {
-        acc.assign(acc_len, Fr::zero());
-        std::vector<Fr> scratch;
-        plan.accumulatePairs(vp.allTables(), 0, half, acc, scratch);
-    } else {
-        acc = rt::parallelReduce<std::vector<Fr>>(
-            0, half, std::vector<Fr>(acc_len, Fr::zero()),
-            [&](std::size_t b, std::size_t e) {
-                std::vector<Fr> part(acc_len, Fr::zero());
-                std::vector<Fr> scratch;
-                plan.accumulatePairs(vp.allTables(), b, e, part, scratch);
-                return part;
-            },
-            [&](std::vector<Fr> a, std::vector<Fr> part) {
-                for (std::size_t p = 0; p < acc_len; ++p)
-                    a[p] += part[p];
-                return a;
-            },
-            /*grain=*/0, /*minGrain=*/256);
-    }
+    std::vector<Fr> acc = accumulatePairs(
+        half, acc_len, [&](std::size_t b, std::size_t e, std::vector<Fr> &a) {
+            std::vector<Fr> scratch;
+            plan.accumulatePairs(vp.allTables(), b, e, a, scratch);
+        });
     return plan.finalizeRoundEvals(acc);
 }
 
