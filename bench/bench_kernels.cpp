@@ -18,6 +18,7 @@
 #include "ec/msm.hpp"
 #include "engine/service.hpp"
 #include "ff/batch_inverse.hpp"
+#include "ff/mul_asm_x86.hpp"
 #include "ff/mul_impl.hpp"
 #include "ff/vec_ops.hpp"
 #include "gates/gate_library.hpp"
@@ -91,10 +92,17 @@ BENCHMARK(BM_FqMul);
 // squaring-heavy).
 // ---------------------------------------------------------------------------
 
+/** asm_mode: -1 inherits the ambient dispatch, 0 forces the unrolled C++
+ *  kernel, 1 forces the ADX/BMI2 assembly kernel (skipped on non-ADX). */
 template <class F>
 static void
-fieldMulBench(benchmark::State &state, bool generic, bool square)
+fieldMulBench(benchmark::State &state, bool generic, bool square,
+              int asm_mode = -1)
 {
+    if (asm_mode == 1 && !ff::kernels::cpuSupportsAdxBmi2()) {
+        state.SkipWithError("host lacks ADX/BMI2");
+        return;
+    }
     constexpr std::size_t kSpan = 1024;
     Rng rng(16);
     std::vector<F> a, b, dst(kSpan);
@@ -103,6 +111,8 @@ fieldMulBench(benchmark::State &state, bool generic, bool square)
         b.push_back(F::random(rng));
     }
     ff::kernels::ScopedGenericKernels oracle(generic);
+    ff::kernels::ScopedAsmKernels asm_scope(
+        asm_mode == -1 ? ff::kernels::asmKernelsEnabled() : asm_mode == 1);
     for (auto _ : state) {
         if (square)
             ff::sqrVec(dst.data(), a.data(), kSpan);
@@ -123,7 +133,15 @@ BM_FieldMul_FrGeneric(benchmark::State &state)
 static void
 BM_FieldMul_FrUnrolled(benchmark::State &state)
 {
-    fieldMulBench<Fr>(state, /*generic=*/false, /*square=*/false);
+    fieldMulBench<Fr>(state, /*generic=*/false, /*square=*/false,
+                      /*asm_mode=*/0);
+}
+
+static void
+BM_FieldMul_FrAsm(benchmark::State &state)
+{
+    fieldMulBench<Fr>(state, /*generic=*/false, /*square=*/false,
+                      /*asm_mode=*/1);
 }
 
 static void
@@ -135,27 +153,55 @@ BM_FieldMul_FqGeneric(benchmark::State &state)
 static void
 BM_FieldMul_FqUnrolled(benchmark::State &state)
 {
-    fieldMulBench<ff::Fq>(state, /*generic=*/false, /*square=*/false);
+    fieldMulBench<ff::Fq>(state, /*generic=*/false, /*square=*/false,
+                          /*asm_mode=*/0);
+}
+
+static void
+BM_FieldMul_FqAsm(benchmark::State &state)
+{
+    fieldMulBench<ff::Fq>(state, /*generic=*/false, /*square=*/false,
+                          /*asm_mode=*/1);
 }
 
 static void
 BM_FieldSquare_FrUnrolled(benchmark::State &state)
 {
-    fieldMulBench<Fr>(state, /*generic=*/false, /*square=*/true);
+    fieldMulBench<Fr>(state, /*generic=*/false, /*square=*/true,
+                      /*asm_mode=*/0);
+}
+
+static void
+BM_FieldSquare_FrAsm(benchmark::State &state)
+{
+    fieldMulBench<Fr>(state, /*generic=*/false, /*square=*/true,
+                      /*asm_mode=*/1);
 }
 
 static void
 BM_FieldSquare_FqUnrolled(benchmark::State &state)
 {
-    fieldMulBench<ff::Fq>(state, /*generic=*/false, /*square=*/true);
+    fieldMulBench<ff::Fq>(state, /*generic=*/false, /*square=*/true,
+                          /*asm_mode=*/0);
+}
+
+static void
+BM_FieldSquare_FqAsm(benchmark::State &state)
+{
+    fieldMulBench<ff::Fq>(state, /*generic=*/false, /*square=*/true,
+                          /*asm_mode=*/1);
 }
 
 BENCHMARK(BM_FieldMul_FrGeneric);
 BENCHMARK(BM_FieldMul_FrUnrolled);
+BENCHMARK(BM_FieldMul_FrAsm);
 BENCHMARK(BM_FieldMul_FqGeneric);
 BENCHMARK(BM_FieldMul_FqUnrolled);
+BENCHMARK(BM_FieldMul_FqAsm);
 BENCHMARK(BM_FieldSquare_FrUnrolled);
+BENCHMARK(BM_FieldSquare_FrAsm);
 BENCHMARK(BM_FieldSquare_FqUnrolled);
+BENCHMARK(BM_FieldSquare_FqAsm);
 
 static void
 BM_Sha3_256(benchmark::State &state)
@@ -281,6 +327,14 @@ BM_Msm_Signed(benchmark::State &state)
 static void
 BM_Msm_SignedBatchAffine(benchmark::State &state)
 {
+    msmVariantBench(state, {.glv = false});
+}
+
+/** Full default pipeline: signed digits + batched affine + GLV split
+ *  (the split still defers to msmGlvProfitable at each size). */
+static void
+BM_Msm_Glv(benchmark::State &state)
+{
     msmVariantBench(state, {});
 }
 
@@ -289,6 +343,7 @@ BENCHMARK(BM_Msm_Signed)->RangeMultiplier(4)->Range(1 << 12, 1 << 18);
 BENCHMARK(BM_Msm_SignedBatchAffine)
     ->RangeMultiplier(4)
     ->Range(1 << 12, 1 << 18);
+BENCHMARK(BM_Msm_Glv)->RangeMultiplier(4)->Range(1 << 12, 1 << 18);
 
 static constexpr std::size_t kMsmBenchColumns = 4;
 

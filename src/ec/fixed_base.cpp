@@ -1,38 +1,93 @@
 #include "ec/fixed_base.hpp"
 
+#include <cassert>
+
+#include "ec/glv.hpp"
+#include "ec/recode.hpp"
+
 namespace zkphire::ec {
 
 FixedBaseMul::FixedBaseMul(const G1Affine &base)
 {
-    const unsigned num_windows = (unsigned(Fr::modulusBits()) + windowBits - 1)
-                                 / windowBits;
-    table.resize(num_windows);
+    useGlv = glv::available();
+    const std::size_t scalar_bits =
+        useGlv ? glv::kHalfBits : Fr::modulusBits();
+    numWindows = signedDigitWindows(scalar_bits, windowBits);
+
+    // Positive magnitudes in Jacobian form: jac[w*halfDigits + d - 1] =
+    // d * 16^w * B. The d = 8 entry doubles into the next window's base.
+    std::vector<G1Jacobian> jac(numWindows * halfDigits);
     G1Jacobian window_base = G1Jacobian::fromAffine(base);
-    for (unsigned w = 0; w < num_windows; ++w) {
+    for (std::size_t w = 0; w < numWindows; ++w) {
         G1Jacobian acc = window_base;
-        for (unsigned d = 1; d <= digitsPerWindow; ++d) {
-            table[w][d - 1] = acc;
+        for (unsigned d = 1; d <= halfDigits; ++d) {
+            jac[w * halfDigits + d - 1] = acc;
             acc = acc.add(window_base);
         }
-        window_base = acc; // 16 * previous window base
+        window_base = jac[w * halfDigits + halfDigits - 1].dbl();
+    }
+
+    // One shared inversion normalizes every entry; negations are free.
+    const std::vector<G1Affine> aff = batchToAffine(jac);
+    table.resize(numWindows);
+    for (std::size_t w = 0; w < numWindows; ++w) {
+        for (unsigned d = 0; d < halfDigits; ++d) {
+            const G1Affine &p = aff[w * halfDigits + d];
+            table[w][d] = p;
+            table[w][halfDigits + d] =
+                p.infinity ? p : G1Affine{p.x, p.y.neg(), false};
+        }
+    }
+
+    if (useGlv) {
+        // phi(P) = (beta * x, y) maps each table entry to the matching
+        // multiple of phi(B) = lambda * B — no group ops needed.
+        const Fq beta = glv::params().beta;
+        phiTable.resize(numWindows);
+        for (std::size_t w = 0; w < numWindows; ++w) {
+            for (unsigned i = 0; i < 2 * halfDigits; ++i) {
+                const G1Affine &p = table[w][i];
+                phiTable[w][i] =
+                    p.infinity ? p : G1Affine{p.x * beta, p.y, false};
+            }
+        }
     }
 }
+
+namespace {
+
+inline void
+addDigit(G1Jacobian &acc, const std::array<G1Affine, 16> &win,
+         std::int32_t d, unsigned half)
+{
+    if (d > 0)
+        acc = acc.addMixed(win[unsigned(d) - 1]);
+    else if (d < 0)
+        acc = acc.addMixed(win[half + unsigned(-d) - 1]);
+}
+
+} // namespace
 
 G1Jacobian
 FixedBaseMul::mul(const Fr &k) const
 {
-    auto bits = k.toBig();
+    // 255-bit scalars at c = 4 need at most signedDigitWindows(255, 4) = 64
+    // digits; the GLV halves use 33 each.
+    std::int32_t digits[2][64];
     G1Jacobian acc = G1Jacobian::identity();
-    const std::size_t scalar_bits = Fr::modulusBits();
-    for (unsigned w = 0; w < table.size(); ++w) {
-        const std::size_t lo = std::size_t(w) * windowBits;
-        if (lo >= scalar_bits)
-            break;
-        const unsigned width =
-            unsigned(std::min<std::size_t>(windowBits, scalar_bits - lo));
-        std::uint64_t digit = bits.bits(lo, width);
-        if (digit)
-            acc = acc.add(table[w][digit - 1]);
+    if (useGlv) {
+        ff::BigInt<4> k1, k2;
+        glv::decompose(k.toBig(), k1, k2);
+        recodeSignedDigits(k1, windowBits, numWindows, digits[0], 1);
+        recodeSignedDigits(k2, windowBits, numWindows, digits[1], 1);
+        for (std::size_t w = 0; w < numWindows; ++w) {
+            addDigit(acc, table[w], digits[0][w], halfDigits);
+            addDigit(acc, phiTable[w], digits[1][w], halfDigits);
+        }
+    } else {
+        recodeSignedDigits(k.toBig(), windowBits, numWindows, digits[0], 1);
+        for (std::size_t w = 0; w < numWindows; ++w)
+            addDigit(acc, table[w], digits[0][w], halfDigits);
     }
     return acc;
 }

@@ -1,5 +1,7 @@
 #include "ec/g1.hpp"
 
+#include "ff/batch_inverse.hpp"
+
 namespace zkphire::ec {
 
 namespace {
@@ -169,6 +171,29 @@ G1Jacobian::operator==(const G1Jacobian &o) const
     Fq z2z2 = o.Z.square();
     return X * z2z2 == o.X * z1z1 &&
            Y * z2z2 * o.Z == o.Y * z1z1 * Z;
+}
+
+std::vector<G1Affine>
+batchToAffine(std::span<const G1Jacobian> pts)
+{
+    std::vector<G1Affine> out(pts.size());
+    std::vector<Fq> zs;
+    zs.reserve(pts.size());
+    for (const G1Jacobian &p : pts)
+        if (!p.isIdentity())
+            zs.push_back(p.Z);
+    ff::batchInverseInPlace(std::span<Fq>(zs));
+    std::size_t zi = 0;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        if (pts[i].isIdentity())
+            continue; // out[i] default-constructs to the identity
+        const Fq z_inv = zs[zi++];
+        const Fq z_inv2 = z_inv.square();
+        out[i].x = pts[i].X * z_inv2;
+        out[i].y = pts[i].Y * z_inv2 * z_inv;
+        out[i].infinity = false;
+    }
+    return out;
 }
 
 const G1Affine &

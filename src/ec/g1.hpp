@@ -11,6 +11,9 @@
 #ifndef ZKPHIRE_EC_G1_HPP
 #define ZKPHIRE_EC_G1_HPP
 
+#include <span>
+#include <vector>
+
 #include "ff/fq.hpp"
 #include "ff/fr.hpp"
 #include "ff/rng.hpp"
@@ -65,6 +68,14 @@ struct G1Jacobian {
 
     bool operator==(const G1Jacobian &o) const;
 };
+
+/**
+ * Normalize many Jacobian points to affine with one shared field inversion
+ * (Montgomery's trick over the Z coordinates). Each output equals
+ * pts[i].toAffine() exactly — inverses are canonical — at ~5 field muls per
+ * point instead of one ~380-mul Fermat inversion each.
+ */
+std::vector<G1Affine> batchToAffine(std::span<const G1Jacobian> pts);
 
 /** The standard BLS12-381 G1 generator. */
 const G1Affine &g1Generator();

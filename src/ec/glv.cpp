@@ -1,0 +1,221 @@
+#include "ec/glv.hpp"
+
+#include <cassert>
+
+namespace zkphire::ec::glv {
+
+namespace {
+
+using u128 = unsigned __int128;
+
+/** q = floor(a / d), returns a mod d (schoolbook top-down by limb). */
+template <std::size_t N>
+u64
+divmodSmall(const BigInt<N> &a, u64 d, BigInt<N> &q)
+{
+    u64 rem = 0;
+    for (std::size_t i = N; i-- > 0;) {
+        const u128 cur = (u128(rem) << 64) | a.limb[i];
+        q.limb[i] = u64(cur / d);
+        rem = u64(cur % d);
+    }
+    return rem;
+}
+
+/** floor(2^384 / d) for a 128-bit d, by restoring long division. */
+std::array<u64, 5>
+divPow384(const BigInt<4> &d)
+{
+    std::array<u64, 5> q{};
+    BigInt<4> rem(0);
+    for (std::size_t i = 385; i-- > 0;) {
+        rem.shl1InPlace(); // rem < d < 2^128, so the shift cannot carry out
+        if (i == 384)
+            rem.limb[0] |= 1;
+        if (!(rem < d)) {
+            rem.subInPlace(d);
+            if (i < 320)
+                q[i / 64] |= u64(1) << (i % 64);
+        }
+    }
+    return q;
+}
+
+/** low 4 limbs of a * b (exact when the true product fits 256 bits). */
+BigInt<4>
+mulLow4(const BigInt<4> &a, const BigInt<4> &b)
+{
+    BigInt<4> out(0);
+    for (std::size_t i = 0; i < 4; ++i) {
+        u64 carry = 0;
+        for (std::size_t j = 0; i + j < 4; ++j) {
+            const u128 t =
+                u128(a.limb[i]) * b.limb[j] + out.limb[i + j] + carry;
+            out.limb[i + j] = u64(t);
+            carry = u64(t >> 64);
+        }
+    }
+    return out;
+}
+
+/** Find a primitive cube root of unity in F as g^((p-1)/3), trying small
+ *  bases until the power is nontrivial. Returns zero() if p = 1 mod 3
+ *  fails (never for our fields). */
+template <class F>
+F
+cubeRootOfUnity()
+{
+    typename F::Big e;
+    if (divmodSmall(F::modulus(), 3, e) != 1)
+        return F::zero();
+    for (u64 g = 2; g < 64; ++g) {
+        F w = F::fromU64(g).pow(e);
+        if (!w.isOne())
+            return w;
+    }
+    return F::zero();
+}
+
+Params
+makeParams()
+{
+    Params p;
+    // lambda: of the two conjugate cube roots of unity mod r, exactly one
+    // is the ~128-bit z^2 - 1 (the other is its negation-like conjugate
+    // -z^2, full width). Size alone disambiguates.
+    const Fr w = cubeRootOfUnity<Fr>();
+    if (w.isZero())
+        return p;
+    for (const Fr &cand : {w, w.square()}) {
+        if (cand.toBig().bitLength() <= kHalfBits + 1) {
+            p.lambdaFr = cand;
+            p.lambda = cand.toBig();
+        }
+    }
+    if (p.lambda.isZero() || p.lambda.bitLength() > kHalfBits)
+        return p;
+    // Self-check: lambda^2 + lambda + 1 == 0 mod r.
+    if (!(p.lambdaFr.square() + p.lambdaFr + Fr::one()).isZero())
+        return p;
+
+    // beta: the cube root of unity in Fq whose phi acts as THIS lambda on
+    // G1 (the conjugate pairs up with lambda^2); decided on the generator.
+    const Fq b = cubeRootOfUnity<Fq>();
+    if (b.isZero())
+        return p;
+    const G1Jacobian lg =
+        G1Jacobian::fromAffine(g1Generator()).mulScalar(p.lambdaFr);
+    for (const Fq &cand : {b, b.square()}) {
+        G1Affine phi_g = g1Generator();
+        phi_g.x *= cand;
+        if (G1Jacobian::fromAffine(phi_g) == lg) {
+            p.beta = cand;
+            p.ok = true;
+            break;
+        }
+    }
+    if (!p.ok)
+        return p;
+
+    p.g = divPow384(p.lambda);
+
+    // Spot-check the decomposition identity on k = r - 1 before declaring
+    // the parameters usable (exercises the Barrett path end to end).
+    BigInt<4> k = Fr::modulus();
+    k.subInPlace(BigInt<4>(1));
+    BigInt<4> k1, k2;
+    // Inline decompose against the local params (the global isn't set yet).
+    {
+        u64 prod[9] = {0};
+        for (std::size_t i = 0; i < 4; ++i) {
+            u64 carry = 0;
+            for (std::size_t j = 0; j < 5; ++j) {
+                const u128 t =
+                    u128(k.limb[i]) * p.g[j] + prod[i + j] + carry;
+                prod[i + j] = u64(t);
+                carry = u64(t >> 64);
+            }
+            prod[i + 5] = carry;
+        }
+        BigInt<4> c1(0);
+        c1.limb[0] = prod[6];
+        c1.limb[1] = prod[7];
+        c1.limb[2] = prod[8];
+        k1 = k;
+        k1.subInPlace(mulLow4(c1, p.lambda));
+        k2 = c1;
+        while (k1.bitLength() > kHalfBits) {
+            k1.subInPlace(p.lambda);
+            k2.addInPlace(BigInt<4>(1));
+        }
+    }
+    const Fr recomposed = Fr::fromBig(k1) + p.lambdaFr * Fr::fromBig(k2);
+    if (recomposed != Fr::fromBig(k) || k2.bitLength() > kHalfBits)
+        p.ok = false;
+    return p;
+}
+
+} // namespace
+
+const Params &
+params()
+{
+    static const Params p = makeParams();
+    return p;
+}
+
+bool
+available()
+{
+    return params().ok;
+}
+
+void
+decompose(const BigInt<4> &k, BigInt<4> &k1, BigInt<4> &k2)
+{
+    const Params &p = params();
+    assert(p.ok && "GLV parameters unavailable");
+    // c1 = floor(k * g / 2^384): 4x5-limb schoolbook, keep limbs 6..8.
+    // g <= 2^384/lambda guarantees c1 <= floor(k/lambda), so k1 below is
+    // non-negative; the Barrett undershoot is < 3, bounding k1 < 3*lambda.
+    u64 prod[9] = {0};
+    for (std::size_t i = 0; i < 4; ++i) {
+        u64 carry = 0;
+        for (std::size_t j = 0; j < 5; ++j) {
+            const u128 t = u128(k.limb[i]) * p.g[j] + prod[i + j] + carry;
+            prod[i + j] = u64(t);
+            carry = u64(t >> 64);
+        }
+        prod[i + 5] = carry;
+    }
+    BigInt<4> c1(0);
+    c1.limb[0] = prod[6];
+    c1.limb[1] = prod[7];
+    c1.limb[2] = prod[8];
+    // k1 = k - c1*lambda, exact over Z (truncated product: value < 2^130).
+    k1 = k;
+    k1.subInPlace(mulLow4(c1, p.lambda));
+    k2 = c1;
+    while (k1.bitLength() > kHalfBits) {
+        k1.subInPlace(p.lambda);
+        k2.addInPlace(BigInt<4>(1));
+    }
+}
+
+G1Affine
+endomorphism(const G1Affine &p)
+{
+    if (p.infinity)
+        return p;
+    return G1Affine{p.x * params().beta, p.y, false};
+}
+
+G1Jacobian
+endomorphism(const G1Jacobian &p)
+{
+    if (p.isIdentity())
+        return p;
+    return G1Jacobian{p.X * params().beta, p.Y, p.Z};
+}
+
+} // namespace zkphire::ec::glv

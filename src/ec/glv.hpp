@@ -1,0 +1,82 @@
+/**
+ * @file
+ * GLV endomorphism scalar decomposition for BLS12-381 G1.
+ *
+ * BLS12-381's G1 carries the curve endomorphism phi(x, y) = (beta*x, y)
+ * where beta is a primitive cube root of unity in Fq; on the r-order
+ * subgroup phi acts as multiplication by lambda, a cube root of unity mod
+ * r with only ~128 bits (lambda = z^2 - 1 for the BLS parameter z, and
+ * r = z^4 - z^2 + 1 = lambda*z^2 + 1). Splitting every scalar as
+ *
+ *     k = k1 + lambda * k2,   0 <= k1, k2 < 2^128,
+ *
+ * turns one 255-bit scalar/point pair into two 128-bit pairs (the second
+ * against the free-to-compute phi(P)), so a windowed MSM walks half the
+ * window passes per point: num_windows drops from ceil(256/c) to
+ * ceil(129/c) while the point count doubles — the bucket-add work per
+ * window stays the same and the window-fold doublings halve. This is the
+ * classic GLV trick the accelerator baselines we compare against (SZKP,
+ * zkSpeed; see PAPERS.md) assume on the CPU side.
+ *
+ * No magic constants: lambda and beta are found at startup as cube roots
+ * of unity via Fermat exponentiation (a^((p-1)/3)), disambiguated between
+ * the two conjugate roots by (a) lambda's ~128-bit size and (b) checking
+ * phi(G) == lambda*G on the actual generator; the Barrett constant
+ * floor(2^384 / lambda) comes from a one-time long division. Params are
+ * self-verifying — if any check fails, available() is false and MSM falls
+ * back to full-width scalars (results are bit-identical either way after
+ * affine normalization; the transcript regression locks this).
+ *
+ * Decomposition is exact over the integers (both halves non-negative), so
+ * no mod-r reasoning leaks into the MSM kernel:
+ *   c1 = floor(k * g / 2^384) with g = floor(2^384 / lambda)  (<= floor(k/lambda))
+ *   k2 = c1,  k1 = k - c1*lambda  (in [0, 3*lambda))
+ *   while k1 has more than 128 bits: k1 -= lambda, k2 += 1   (<= 2 rounds)
+ */
+#ifndef ZKPHIRE_EC_GLV_HPP
+#define ZKPHIRE_EC_GLV_HPP
+
+#include <array>
+
+#include "ec/g1.hpp"
+
+namespace zkphire::ec::glv {
+
+using ff::BigInt;
+using ff::u64;
+
+/** Bit bound on both decomposition halves; MSM recodes
+ *  signedDigitWindows(kHalfBits, c) windows per half. */
+inline constexpr std::size_t kHalfBits = 128;
+
+/** Derived GLV constants, computed and verified once at first use. */
+struct Params {
+    BigInt<4> lambda;        ///< Cube root of unity mod r, ~128 bits.
+    Fr lambdaFr;             ///< lambda as a field element (phi's eigenvalue).
+    Fq beta;                 ///< Cube root of unity in Fq with phi(G)=lambda*G.
+    std::array<u64, 5> g;    ///< floor(2^384 / lambda), the Barrett constant.
+    bool ok = false;         ///< All self-checks passed.
+};
+
+/** The process-wide parameters (thread-safe one-time init). */
+const Params &params();
+
+/** Whether GLV applies on this build (parameter self-checks passed). */
+bool available();
+
+/**
+ * Split a canonical scalar k < r as k = k1 + lambda*k2 exactly over the
+ * integers, with 0 <= k1, k2 < 2^kHalfBits. @pre available().
+ */
+void decompose(const BigInt<4> &k, BigInt<4> &k1, BigInt<4> &k2);
+
+/** phi(x, y) = (beta*x, y); one Fq multiplication. Identity maps to
+ *  itself. phi(P) = lambda*P for P in the r-order subgroup. */
+G1Affine endomorphism(const G1Affine &p);
+
+/** Jacobian phi: (beta*X, Y, Z) — beta scales x = X/Z^2 directly. */
+G1Jacobian endomorphism(const G1Jacobian &p);
+
+} // namespace zkphire::ec::glv
+
+#endif // ZKPHIRE_EC_GLV_HPP

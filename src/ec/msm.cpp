@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "ec/batch_add.hpp"
+#include "ec/glv.hpp"
 #include "ec/recode.hpp"
 #include "rt/parallel.hpp"
 
@@ -36,7 +37,8 @@ pippengerAutoWindow(std::size_t n)
 }
 
 unsigned
-pippengerAutoWindowSigned(std::size_t n, bool batch_affine)
+pippengerAutoWindowSignedBits(std::size_t n, std::size_t scalar_bits,
+                              bool batch_affine)
 {
     // Argmin of the per-window cost in Fq-multiplication units (prices in
     // ec::msm_cost, re-fit to the fixed-limb kernel overhaul and shared
@@ -45,15 +47,18 @@ pippengerAutoWindowSigned(std::size_t n, bool batch_affine)
     // aggregation add in the suffix sum. Wider windows mean fewer passes
     // over the points but more aggregation work; the halved bucket count
     // shifts the optimum ~1 bit wider than the unsigned choice. The cost
-    // depends only on (n, batch_affine) — never on per-column dense counts
-    // — so a batch run and each column's solo run always agree on c.
+    // depends only on (n, scalar_bits, batch_affine) — never on per-column
+    // dense counts — so a batch run and each column's solo run always
+    // agree on c. The GLV caller passes (2n, glv::kHalfBits): the point
+    // term doubles while the window count per c roughly halves, which
+    // nudges the optimum ~1 bit wider than the full-width choice at the
+    // same n.
     const double bucket_add_cost =
         batch_affine ? msm_cost::kBatchAffineAdd : msm_cost::kMixedAdd;
-    const double bits = double(Fr::modulusBits());
     double best_cost = 0;
     unsigned best = 2;
     for (unsigned c = 2; c <= 16; ++c) {
-        double nw = double(signedDigitWindows(std::size_t(bits), c));
+        double nw = double(signedDigitWindows(scalar_bits, c));
         double buckets = double(std::size_t(1) << (c - 1));
         double cost = nw * (double(n) * bucket_add_cost +
                             buckets * msm_cost::kAggPerBucket);
@@ -63,6 +68,37 @@ pippengerAutoWindowSigned(std::size_t n, bool batch_affine)
         }
     }
     return best;
+}
+
+unsigned
+pippengerAutoWindowSigned(std::size_t n, bool batch_affine)
+{
+    return pippengerAutoWindowSignedBits(n, Fr::modulusBits(), batch_affine);
+}
+
+bool
+msmGlvProfitable(std::size_t n, bool batch_affine)
+{
+    // Same op-count model as the window argmin, totaled for both scalar
+    // structures. GLV wins while the halved window count outruns the
+    // doubled point walk — but the c <= 16 window cap stops the GLV argmin
+    // from widening past ceil((128+16)/16) = 9 windows, so beyond ~2^20
+    // points the plain 255-bit slicing (16 passes over n) beats GLV's 9
+    // passes over 2n, and the split turns itself off.
+    const double bucket_add =
+        batch_affine ? msm_cost::kBatchAffineAdd : msm_cost::kMixedAdd;
+    const auto total = [&](std::size_t pts, std::size_t bits) {
+        const unsigned c =
+            pippengerAutoWindowSignedBits(pts, bits, batch_affine);
+        const double nw = double(signedDigitWindows(bits, c));
+        const double buckets = double(std::size_t(1) << (c - 1));
+        return nw * (double(pts) * bucket_add +
+                     buckets * msm_cost::kAggPerBucket) +
+               double(bits) * msm_cost::kDouble;
+    };
+    // + n prices the one-time phi(P) materialization (one Fq mul/point).
+    return total(2 * n, glv::kHalfBits) + double(n) <
+           total(n, Fr::modulusBits());
 }
 
 namespace {
@@ -265,12 +301,24 @@ msmBatchCore(std::span<const std::span<const Fr>> cols,
 #endif
 
     const bool sgn = opts.signedDigits;
+    // GLV rides on the signed-digit pipeline: each dense scalar splits into
+    // two ~128-bit halves (k = k1 + lambda*k2), the walk covers 2n points
+    // (phi(P_i) materialized once at index n + i), and the window count per
+    // pass halves. Degrades transparently if the parameter self-checks fail
+    // or the op-count model says the split loses at this size (the window
+    // cap makes plain slicing cheaper past ~2^20 points).
+    const bool use_glv = sgn && opts.glv && glv::available() &&
+                         msmGlvProfitable(n, opts.batchAffine);
+    const std::size_t n_ext = use_glv ? 2 * n : n;
     const unsigned c =
         opts.windowBits ? opts.windowBits
-        : sgn           ? pippengerAutoWindowSigned(n, opts.batchAffine)
+        : sgn           ? pippengerAutoWindowSignedBits(
+                  n_ext, use_glv ? glv::kHalfBits : Fr::modulusBits(),
+                  opts.batchAffine)
                         : pippengerAutoWindow(n);
     assert(c >= 1 && c <= 16);
-    const std::size_t scalar_bits = Fr::modulusBits();
+    const std::size_t scalar_bits =
+        use_glv ? glv::kHalfBits : Fr::modulusBits();
     const std::size_t num_windows = sgn
                                         ? signedDigitWindows(scalar_bits, c)
                                         : (scalar_bits + c - 1) / c;
@@ -279,12 +327,14 @@ msmBatchCore(std::span<const std::span<const Fr>> cols,
 
     // Phase 1: classify every scalar and recode dense ones into the
     // window-major digit slab (digit of point i, column j, window w at
-    // (w*n + i)*k + j, so a window reads one contiguous slab and a point's
-    // k digits sit together). Trivial {0,1} scalars keep all-zero digits.
+    // (w*n_ext + i)*k + j, so a window reads one contiguous slab and a
+    // point's k digits sit together). Trivial {0,1} scalars keep all-zero
+    // digits. Under GLV the k1 half recodes into point row i and the k2
+    // half into the phi row n + i.
     auto t0 = Clock::now();
-    std::vector<std::int32_t> digits(num_windows * n * k);
+    std::vector<std::int32_t> digits(num_windows * n_ext * k);
     std::vector<std::uint8_t> klass(n * k); // 0 = zero, 1 = one, 2 = dense
-    const std::size_t stride = n * k;
+    const std::size_t stride = n_ext * k;
     rt::parallelFor(
         0, n,
         [&](std::size_t i) {
@@ -298,7 +348,13 @@ msmBatchCore(std::span<const std::span<const Fr>> cols,
                     continue;
                 const auto big = s.toBig();
                 std::int32_t *dst = &digits[i * k + j];
-                if (sgn) {
+                if (use_glv) {
+                    ff::BigInt<4> k1, k2;
+                    glv::decompose(big, k1, k2);
+                    recodeSignedDigits(k1, c, num_windows, dst, stride);
+                    recodeSignedDigits(k2, c, num_windows,
+                                       &digits[(n + i) * k + j], stride);
+                } else if (sgn) {
                     recodeSignedDigits(big, c, num_windows, dst, stride);
                 } else {
                     for (std::size_t w = 0; w < num_windows; ++w) {
@@ -317,8 +373,8 @@ msmBatchCore(std::span<const std::span<const Fr>> cols,
     // point enters the shared walk list if ANY column is dense there.
     std::vector<G1Jacobian> trivial(k, G1Jacobian::identity());
     std::vector<std::size_t> col_dense(k, 0);
-    std::vector<std::uint32_t> dense_idx;
-    dense_idx.reserve(n);
+    std::vector<std::uint32_t> dense_orig; // original indices with any dense
+    dense_orig.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
         bool any_dense = false;
         for (std::size_t j = 0; j < k; ++j) {
@@ -336,14 +392,42 @@ msmBatchCore(std::span<const std::span<const Fr>> cols,
                 break;
             default:
                 any_dense = true;
-                ++col_dense[j];
+                // The batch-affine floor compares bucket-add entries, of
+                // which a GLV-split scalar contributes two.
+                col_dense[j] += use_glv ? 2 : 1;
                 if (stats)
                     ++stats->denseScalars;
                 break;
             }
         }
         if (any_dense)
-            dense_idx.push_back(std::uint32_t(i));
+            dense_orig.push_back(std::uint32_t(i));
+    }
+
+    // The bucket walk list over extended indices, and (GLV only) the
+    // extended point array: original points first, phi points at n + i —
+    // filled only where some column is dense (one Fq mul each).
+    std::vector<std::uint32_t> dense_idx;
+    std::vector<G1Affine> ext_points;
+    std::span<const G1Affine> walk_points = points;
+    if (use_glv) {
+        dense_idx.resize(2 * dense_orig.size());
+        for (std::size_t d = 0; d < dense_orig.size(); ++d) {
+            dense_idx[2 * d] = dense_orig[d];
+            dense_idx[2 * d + 1] = std::uint32_t(n + dense_orig[d]);
+        }
+        ext_points.resize(2 * n);
+        std::copy(points.begin(), points.end(), ext_points.begin());
+        rt::parallelFor(
+            0, dense_orig.size(),
+            [&](std::size_t d) {
+                const std::uint32_t i = dense_orig[d];
+                ext_points[n + i] = glv::endomorphism(points[i]);
+            },
+            /*grain=*/0, /*minGrain=*/512);
+        walk_points = ext_points;
+    } else {
+        dense_idx = std::move(dense_orig);
     }
     if (stats)
         stats->recodeMs += msSince(t0);
@@ -388,26 +472,26 @@ msmBatchCore(std::span<const std::span<const Fr>> cols,
         num_windows * dense_idx.size() * ba_cols.size() <=
             kCombineMaxEntries;
     if (combine_windows) {
-        windowSumBatchAffine(points, dense_idx, digits.data(), stride,
+        windowSumBatchAffine(walk_points, dense_idx, digits.data(), stride,
                              num_windows, k, ba_cols, num_buckets,
                              sums.data(), wacc[0]);
         for (std::size_t w = 0; w < num_windows && !jac_cols.empty(); ++w)
             for (std::uint32_t j : jac_cols)
                 sums[w * k + j] = windowSumJacobian(
-                    points, dense_idx, digits.data() + w * stride + j, k,
-                    num_buckets, wacc[w]);
+                    walk_points, dense_idx, digits.data() + w * stride + j,
+                    k, num_buckets, wacc[w]);
     } else {
         rt::parallelFor(
             0, num_windows,
             [&](std::size_t w) {
                 const std::int32_t *wdig = digits.data() + w * stride;
                 if (!ba_cols.empty())
-                    windowSumBatchAffine(points, dense_idx, wdig, stride,
-                                         /*num_win=*/1, k, ba_cols,
+                    windowSumBatchAffine(walk_points, dense_idx, wdig,
+                                         stride, /*num_win=*/1, k, ba_cols,
                                          num_buckets, &sums[w * k], wacc[w]);
                 for (std::uint32_t j : jac_cols)
                     sums[w * k + j] = windowSumJacobian(
-                        points, dense_idx, wdig + j, k, num_buckets,
+                        walk_points, dense_idx, wdig + j, k, num_buckets,
                         wacc[w]);
             },
             /*grain=*/1);

@@ -55,6 +55,16 @@ struct MsmOptions {
     /** Batched-affine bucket accumulation (requires signedDigits). */
     bool batchAffine = true;
     /**
+     * GLV endomorphism splitting (requires signedDigits): every scalar is
+     * decomposed as k1 + lambda*k2 with ~128-bit halves (src/ec/glv.hpp)
+     * and the point set doubled with the free endomorphism phi(P), halving
+     * the window passes and fold doublings. Results are equal as group
+     * elements either way (identical bytes after affine normalization);
+     * ignored when the GLV parameter self-checks fail or when
+     * msmGlvProfitable says plain slicing is cheaper at this size.
+     */
+    bool glv = true;
+    /**
      * Dense-point floor below which batchAffine falls back to Jacobian
      * buckets: each reduction round pays one true field inversion per
      * window, which only amortizes over enough points. 0 forces
@@ -167,6 +177,25 @@ unsigned pippengerAutoWindow(std::size_t n);
  * the unsigned choice at the same n.
  */
 unsigned pippengerAutoWindowSigned(std::size_t n, bool batch_affine = true);
+
+/**
+ * The window argmin underlying pippengerAutoWindowSigned, parameterized on
+ * the recoded scalar width: the GLV path optimizes over (2n points,
+ * glv::kHalfBits-bit halves) instead of (n, Fr::modulusBits()). Shared with
+ * sim::CpuModel::msmFieldMuls so kernel and cost model pick identical c.
+ */
+unsigned pippengerAutoWindowSignedBits(std::size_t n, std::size_t scalar_bits,
+                                       bool batch_affine = true);
+
+/**
+ * Whether the GLV split is predicted to beat plain 255-bit slicing for an
+ * n-point signed-digit MSM under the msm_cost op model (it loses once the
+ * c <= 16 window cap stops the half-width argmin from widening, around
+ * 2^20 points). The kernel consults this before enabling the split and
+ * sim::CpuModel::msmFieldMuls mirrors it, so model and kernel always pick
+ * the same structure.
+ */
+bool msmGlvProfitable(std::size_t n, bool batch_affine = true);
 
 /**
  * Pippenger MSM with an explicit runtime config. Bucket accumulation runs

@@ -31,23 +31,96 @@ namespace zkphire::ff {
 
 namespace detail {
 
-/** Serial Montgomery trick over [xs.begin, xs.end), given prefix scratch. */
+/** Serial Montgomery trick over [xs.begin, xs.end), given prefix scratch.
+ *
+ * Both sweeps are dependent multiplication chains (acc *= x feeds the next
+ * step), so a single chain runs at multiplier latency, not throughput. The
+ * chain is therefore split into kLanes contiguous blocks whose independent
+ * accumulators interleave in one loop, letting the out-of-order core overlap
+ * the lanes; the lane products are combined with one true inversion exactly
+ * as before. Every element still receives its canonical inverse, so the
+ * laned sweep is bit-identical to a single chain. */
 template <class F>
 void
 batchInverseSerial(std::span<F> xs, std::span<F> prefix)
 {
     const std::size_t n = xs.size();
-    F acc = F::one();
-    for (std::size_t i = 0; i < n; ++i) {
-        assert(!xs[i].isZero() && "batch inverse of zero element");
-        prefix[i] = acc;
-        acc *= xs[i];
+    constexpr std::size_t kLanes = 8;
+    if (n < 4 * kLanes) {
+        F acc = F::one();
+        for (std::size_t i = 0; i < n; ++i) {
+            assert(!xs[i].isZero() && "batch inverse of zero element");
+            prefix[i] = acc;
+            acc *= xs[i];
+        }
+        F inv = acc.inverse();
+        for (std::size_t i = n; i-- > 0;) {
+            F x_inv = inv * prefix[i];
+            inv *= xs[i];
+            xs[i] = x_inv;
+        }
+        return;
     }
-    F inv = acc.inverse();
-    for (std::size_t i = n; i-- > 0;) {
-        F x_inv = inv * prefix[i];
-        inv *= xs[i];
-        xs[i] = x_inv;
+
+    // Lane k owns the contiguous block [off[k], off[k+1]); the first
+    // n % kLanes lanes are one element longer.
+    std::size_t off[kLanes + 1];
+    {
+        const std::size_t base = n / kLanes, rem = n % kLanes;
+        off[0] = 0;
+        for (std::size_t k = 0; k < kLanes; ++k)
+            off[k + 1] = off[k] + base + (k < rem ? 1 : 0);
+    }
+    const std::size_t lmin = n / kLanes;
+
+    F acc[kLanes];
+    for (auto &a : acc)
+        a = F::one();
+    for (std::size_t s = 0; s < lmin; ++s) {
+        for (std::size_t k = 0; k < kLanes; ++k) {
+            const std::size_t i = off[k] + s;
+            assert(!xs[i].isZero() && "batch inverse of zero element");
+            prefix[i] = acc[k];
+            acc[k] *= xs[i];
+        }
+    }
+    for (std::size_t k = 0; k < kLanes; ++k) {
+        for (std::size_t i = off[k] + lmin; i < off[k + 1]; ++i) {
+            assert(!xs[i].isZero() && "batch inverse of zero element");
+            prefix[i] = acc[k];
+            acc[k] *= xs[i];
+        }
+    }
+
+    // One true inversion of the total product, then peel off per-lane
+    // inverses with the same trick applied to the kLanes accumulators.
+    F lane_pref[kLanes];
+    F total = F::one();
+    for (std::size_t k = 0; k < kLanes; ++k) {
+        lane_pref[k] = total;
+        total *= acc[k];
+    }
+    F t = total.inverse();
+    F inv[kLanes];
+    for (std::size_t k = kLanes; k-- > 0;) {
+        inv[k] = t * lane_pref[k];
+        t *= acc[k];
+    }
+
+    for (std::size_t k = 0; k < kLanes; ++k) {
+        for (std::size_t i = off[k + 1]; i-- > off[k] + lmin;) {
+            F x_inv = inv[k] * prefix[i];
+            inv[k] *= xs[i];
+            xs[i] = x_inv;
+        }
+    }
+    for (std::size_t s = lmin; s-- > 0;) {
+        for (std::size_t k = 0; k < kLanes; ++k) {
+            const std::size_t i = off[k] + s;
+            F x_inv = inv[k] * prefix[i];
+            inv[k] *= xs[i];
+            xs[i] = x_inv;
+        }
     }
 }
 

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "poly/mle.hpp"
+#include "rt/parallel.hpp"
 
 namespace zkphire::pcs {
 
@@ -33,11 +34,13 @@ Srs::basesFor(unsigned mu) const
         // lifted into the exponent with fixed-base multiplications.
         std::vector<Fr> suffix_tau(tauVec.begin() + s, tauVec.begin() + mu);
         poly::Mle eq = poly::Mle::eqTable(suffix_tau);
-        std::vector<G1Affine> pts;
-        pts.reserve(eq.size());
-        for (std::size_t i = 0; i < eq.size(); ++i)
-            pts.push_back(genMul->mul(eq[i]).toAffine());
-        level.suffix[s] = std::move(pts);
+        // Fixed-base multiplies are independent; normalization shares one
+        // inversion across the level instead of one per point.
+        std::vector<G1Jacobian> jac(eq.size());
+        rt::parallelFor(
+            0, eq.size(), [&](std::size_t i) { jac[i] = genMul->mul(eq[i]); },
+            0, 16);
+        level.suffix[s] = ec::batchToAffine(jac);
     }
     return cache.emplace(mu, std::move(level)).first->second;
 }

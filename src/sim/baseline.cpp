@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "ec/glv.hpp"
 #include "ec/msm.hpp"
 #include "ec/recode.hpp"
 
@@ -48,26 +49,35 @@ CpuModel::sumcheckMs(const PolyShape &shape, unsigned mu) const
 double
 CpuModel::msmFieldMuls(const MsmWorkload &wl)
 {
-    // Mirrors ec::msmPippengerOpt since the PR 4/5 overhauls: signed-digit
-    // recoding (2^(c-1) buckets), batched-affine bucket accumulation for
-    // dense scalars, the trivial-scalar fast path (zeros skipped, ones one
-    // mixed add), and a per-bucket mixed + full Jacobian aggregation pair
-    // in the suffix sum. The window width comes from the kernel's own
-    // argmin and the per-op prices from ec::msm_cost, so the model tracks
-    // the kernel's actual bucket counts and any future retune of either.
+    // Mirrors ec::msmPippengerOpt since the PR 4/5/7 overhauls:
+    // signed-digit recoding (2^(c-1) buckets), batched-affine bucket
+    // accumulation for dense scalars, the trivial-scalar fast path (zeros
+    // skipped, ones one mixed add), a per-bucket mixed + full Jacobian
+    // aggregation pair in the suffix sum, and — where the kernel's own
+    // profitability rule enables it — the GLV split (half-width digits
+    // over 2n points, one endomorphism mul per point, halved fold). The
+    // window width comes from the kernel's argmin and the per-op prices
+    // from ec::msm_cost, so the model tracks the kernel's actual bucket
+    // counts and any future retune of either.
     const double n = wl.numPoints;
-    const std::size_t scalar_bits = ff::Fr::modulusBits();
-    const unsigned c = ec::pippengerAutoWindowSigned(
-        std::size_t(std::max(0.0, n)), /*batch_affine=*/true);
+    const std::size_t ni = std::size_t(std::max(0.0, n));
+    const bool glv =
+        ec::glv::available() && ec::msmGlvProfitable(ni, /*batch_affine=*/true);
+    const std::size_t scalar_bits =
+        glv ? ec::glv::kHalfBits : ff::Fr::modulusBits();
+    const double n_ext = glv ? 2.0 * n : n;
+    const unsigned c = ec::pippengerAutoWindowSignedBits(
+        glv ? 2 * ni : ni, scalar_bits, /*batch_affine=*/true);
     const double windows = double(ec::signedDigitWindows(scalar_bits, c));
     const double buckets = double(std::size_t(1) << (c - 1));
     const double dense_muls =
-        windows * (n * wl.fracDense() * ec::msm_cost::kBatchAffineAdd +
+        windows * (n_ext * wl.fracDense() * ec::msm_cost::kBatchAffineAdd +
                    buckets * ec::msm_cost::kAggPerBucket);
+    const double endo_muls = glv ? n * wl.fracDense() : 0.0;
     const double one_muls = n * wl.fracOne * ec::msm_cost::kMixedAdd;
     const double doubling_muls =
         double(scalar_bits) * ec::msm_cost::kDouble; // window fold
-    return dense_muls + one_muls + doubling_muls;
+    return dense_muls + endo_muls + one_muls + doubling_muls;
 }
 
 double

@@ -8,58 +8,37 @@
 
 namespace zkphire::sumcheck {
 
-namespace {
-
-/**
- * Memoized evaluation of tree entry i. Odd-index chains strictly increase
- * toward 2N-1 and even indices are leaves, so recursion depth is O(mu).
- */
-Fr
-computeEntry(std::size_t i, const Mle &phi, std::vector<Fr> &v,
-             std::vector<std::uint8_t> &done, std::size_t n)
-{
-    if (done[i])
-        return v[i];
-    Fr val;
-    if (i % 2 == 0) {
-        val = phi[i / 2];
-    } else if (i == 2 * n - 1) {
-        // All-ones entry: unconstrained when the grand product is 1 (the
-        // relation there reads v = root * v); pin it to zero.
-        val = Fr::zero();
-    } else {
-        std::size_t x = (i - 1) / 2;
-        Fr left = computeEntry(x, phi, v, done, n);
-        Fr right = computeEntry(x + n, phi, v, done, n);
-        val = left * right;
-    }
-    v[i] = val;
-    done[i] = 1;
-    return val;
-}
-
-} // namespace
-
 Mle
 buildProductTree(const Mle &phi)
 {
     const std::size_t n = phi.size();
     std::vector<Fr> v(2 * n, Fr::zero());
-    std::vector<std::uint8_t> done(2 * n, 0);
-    // The leaf level v[2x] = phi[x] is half the table and has no
-    // dependencies: copy it in parallel (distinct indices, exact copies, so
-    // bit-identical to the serial loop at any thread count). The internal
-    // odd-index nodes then find every leaf memoized and only walk the
-    // product chains.
+    // The even indices v[2x] = phi[x] are the leaves; the odd internal
+    // nodes stratify into levels by their low bits: level L is exactly the
+    // indices i = (2^L - 1) + j * 2^(L+1), and both children of a level-L
+    // node — x = (i-1)/2 and x + n — satisfy the level-(L-1) congruence
+    // i' = 2^(L-1) - 1 (mod 2^L). Building level by level therefore opens
+    // n / 2^L-wide parallelism at every level with each product reading
+    // only finished entries; operands and order match the serial recursion
+    // exactly, so the table is bit-identical at any thread count.
     rt::parallelFor(
-        0, n,
-        [&](std::size_t x) {
-            v[2 * x] = phi[x];
-            done[2 * x] = 1;
-        },
+        0, n, [&](std::size_t x) { v[2 * x] = phi[x]; },
         /*grain=*/0, /*minGrain=*/1024);
-    for (std::size_t i = 1; i < 2 * n; i += 2)
-        computeEntry(i, phi, v, done, n);
+    for (std::size_t level = 1; (std::size_t(1) << level) <= n; ++level) {
+        const std::size_t base = (std::size_t(1) << level) - 1;
+        const std::size_t step = std::size_t(1) << (level + 1);
+        rt::parallelFor(
+            0, n >> level,
+            [&](std::size_t j) {
+                const std::size_t i = base + j * step;
+                const std::size_t x = (i - 1) / 2;
+                v[i] = v[x] * v[x + n];
+            },
+            /*grain=*/0, /*minGrain=*/256);
+    }
+    // All-ones entry v[2n-1]: unconstrained when the grand product is 1
+    // (the relation there reads v = root * v); pin it to zero.
+    v[2 * n - 1] = Fr::zero();
     return Mle(std::move(v));
 }
 

@@ -12,6 +12,7 @@
 #include "engine/context.hpp"
 #include "ff/fq.hpp"
 #include "ff/fr.hpp"
+#include "ff/mul_asm_x86.hpp"
 #include "ff/mul_impl.hpp"
 #include "ff/rng.hpp"
 #include "ff/vec_ops.hpp"
@@ -148,6 +149,88 @@ TEST(FfKernels, FqUnrolledMatchesGenericOracle)
     runKernelPropertySuite<ff::Fq>(4048);
 }
 
+/**
+ * Three-way bit-identity: the ADX/BMI2 assembly kernel, the unrolled C++
+ * kernel, and the generic oracle must produce identical raw Montgomery
+ * limbs for mul and square on 10k random pairs plus every edge pair.
+ * Skipped (not failed) on hosts without ADX+BMI2, matching the runtime
+ * dispatch: such hosts never execute the assembly path.
+ */
+template <class F>
+void
+runAsmKernelSuite(std::uint64_t seed)
+{
+    if (!ff::kernels::cpuSupportsAdxBmi2())
+        GTEST_SKIP() << "host lacks ADX/BMI2; asm path never dispatched";
+
+    auto expect_three_way = [](const F &a, const F &b) {
+        F g_mul, g_sq;
+        {
+            ScopedGenericKernels oracle(true);
+            g_mul = a * b;
+            g_sq = a.square();
+        }
+        {
+            ff::kernels::ScopedAsmKernels no_asm(false);
+            ASSERT_EQ(a * b, g_mul);
+            ASSERT_EQ(a.square(), g_sq);
+        }
+        {
+            ff::kernels::ScopedAsmKernels with_asm(true);
+            ASSERT_EQ(a * b, g_mul);
+            ASSERT_EQ(a.square(), g_sq);
+        }
+    };
+
+    const std::vector<F> edges = edgeOperands<F>();
+    for (const F &a : edges)
+        for (const F &b : edges)
+            expect_three_way(a, b);
+    ff::Rng rng(seed);
+    for (int i = 0; i < 10000; ++i)
+        expect_three_way(F::random(rng), F::random(rng));
+    for (const F &e : edges)
+        for (int i = 0; i < 50; ++i)
+            expect_three_way(e, F::random(rng));
+
+    // In-place aliasing: the asm kernel writes through a local buffer, so
+    // out == a == b must still be exact.
+    ff::kernels::ScopedAsmKernels with_asm(true);
+    for (const F &e : edges) {
+        F x = e;
+        x *= x;
+        ASSERT_EQ(x, e.square());
+    }
+}
+
+TEST(FfKernels, FrAsmMatchesUnrolledAndGeneric)
+{
+    runAsmKernelSuite<ff::Fr>(1234);
+}
+
+TEST(FfKernels, FqAsmMatchesUnrolledAndGeneric)
+{
+    runAsmKernelSuite<ff::Fq>(5678);
+}
+
+TEST(FfKernels, AsmScopeRoundTrips)
+{
+    // Enabling is clamped by CPU/build support (a no-asm build or
+    // non-ADX host silently keeps the portable kernels selected).
+    const bool avail = ff::kernels::cpuSupportsAdxBmi2();
+    const bool ambient = ff::kernels::asmKernelsEnabled();
+    {
+        ff::kernels::ScopedAsmKernels on(true);
+        EXPECT_EQ(ff::kernels::asmKernelsEnabled(), avail);
+        {
+            ff::kernels::ScopedAsmKernels off(false);
+            EXPECT_FALSE(ff::kernels::asmKernelsEnabled());
+        }
+        EXPECT_EQ(ff::kernels::asmKernelsEnabled(), avail);
+    }
+    EXPECT_EQ(ff::kernels::asmKernelsEnabled(), ambient);
+}
+
 TEST(FfKernels, SquareKernelMatchesMulOnEdges)
 {
     for (const ff::Fq &e : edgeOperands<ff::Fq>()) {
@@ -244,4 +327,37 @@ TEST(FfKernels, HyperPlonkTranscriptIdenticalKernelsOnOff)
     const std::vector<std::uint8_t> generic3 = prove_bytes(true, 3);
     EXPECT_EQ(fixed3, fixed1);
     EXPECT_EQ(generic3, fixed1);
+}
+
+/**
+ * PR 7 regression matrix: the proof bytes must not move under any of the
+ * new speed knobs — {asm on/off} x {GLV on/off} x {1, 4 threads}. On
+ * non-ADX hosts "asm on" silently stays on the unrolled kernel (the
+ * dispatch never arms), which still exercises the GLV/thread axes.
+ */
+TEST(FfKernels, HyperPlonkTranscriptIdenticalAsmGlvThreadMatrix)
+{
+    ff::Rng rng(9218);
+    pcs::Srs srs = pcs::Srs::generate(7, rng);
+    engine::ProverContext ctx(srs);
+    hyperplonk::Circuit circuit = hyperplonk::randomVanillaCircuit(5, rng);
+    const hyperplonk::Keys &keys = ctx.preprocess(circuit);
+
+    auto prove_bytes = [&](bool asm_on, bool glv_on, unsigned threads) {
+        ff::kernels::ScopedAsmKernels asm_scope(asm_on);
+        rt::ScopedThreads pin(threads);
+        hyperplonk::ProveOptions opts;
+        opts.plans = &ctx.plans();
+        opts.msm.glv = glv_on;
+        auto proof = hyperplonk::prove(keys.pk, circuit, nullptr, opts);
+        return hyperplonk::serializeProof(proof);
+    };
+
+    const std::vector<std::uint8_t> reference = prove_bytes(false, false, 1);
+    for (bool asm_on : {false, true})
+        for (bool glv_on : {false, true})
+            for (unsigned threads : {1u, 4u})
+                EXPECT_EQ(prove_bytes(asm_on, glv_on, threads), reference)
+                    << "asm=" << asm_on << " glv=" << glv_on
+                    << " threads=" << threads;
 }
