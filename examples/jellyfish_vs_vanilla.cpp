@@ -90,7 +90,8 @@ main()
         const Keys &keys = i == 0 ? vanilla_keys : jelly_keys;
         auto res = verify(keys.vk, r.proof);
         std::printf("  %-10s prove %.1f ms, proof %.2f KB, verify %s\n",
-                    name, r.stats.totalMs(), r.proof.sizeBytes() / 1024.0,
+                    name, r.stats.totalMs(),
+                    static_cast<double>(r.proof.sizeBytes()) / 1024.0,
                     res.ok ? "OK" : res.error.c_str());
         if (!res.ok)
             return 1;

@@ -24,6 +24,7 @@ enum PairKind : std::uint8_t {
  * construction: a generic add has x2 != x1 and a doubling has y != 0 (a
  * zero y falls into the cancellation case, since then -y == y).
  */
+// zkphire-lint: ct-exempt(identity/cancellation classification is what batched-affine MSM buckets require; scalar-shaped timing is inherent to Pippenger)
 inline std::uint8_t
 classifyPair(const G1Affine &a, const G1Affine &b, BatchAffineScratch &s)
 {
@@ -90,6 +91,7 @@ resolveRound(BatchAffineScratch &scratch, BatchAffineStats *stats)
     }
 }
 
+// zkphire-lint: ct-exempt(sign-bit decode of public point table entries)
 inline G1Affine
 decodeEntry(std::span<const G1Affine> points, std::uint32_t e)
 {
@@ -135,7 +137,7 @@ reduceSegments(std::span<G1Affine> buf, std::span<const std::uint32_t> off,
                                           buf[base + 2 * j + 1], scratch, di);
             if (L % 2 == 1 && L > 1)
                 buf[base + L / 2] = buf[base + L - 1];
-            scratch.len[s] = (L + 1) / 2;
+            scratch.len[s] = static_cast<std::uint32_t>((L + 1) / 2);
             again |= scratch.len[s] > 1;
         }
     }

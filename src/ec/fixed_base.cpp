@@ -35,6 +35,7 @@ FixedBaseMul::FixedBaseMul(const G1Affine &base)
             const G1Affine &p = aff[w * halfDigits + d];
             table[w][d] = p;
             table[w][halfDigits + d] =
+                // zkphire-lint: ct-exempt(table precompute over public SRS base points)
                 p.infinity ? p : G1Affine{p.x, p.y.neg(), false};
         }
     }
@@ -48,6 +49,7 @@ FixedBaseMul::FixedBaseMul(const G1Affine &base)
             for (unsigned i = 0; i < 2 * halfDigits; ++i) {
                 const G1Affine &p = table[w][i];
                 phiTable[w][i] =
+                    // zkphire-lint: ct-exempt(table precompute over public SRS base points)
                     p.infinity ? p : G1Affine{p.x * beta, p.y, false};
             }
         }

@@ -1,5 +1,6 @@
 #include "ec/g1.hpp"
 
+#include "ec/glv.hpp"
 #include "ff/batch_inverse.hpp"
 
 namespace zkphire::ec {
@@ -23,6 +24,7 @@ G1Affine::isOnCurve() const
     return y.square() == x.square() * x + curveB();
 }
 
+// zkphire-lint: ct-exempt(equality on public/normalized points: commitments, oracle checks, tests)
 bool
 G1Affine::operator==(const G1Affine &o) const
 {
@@ -37,6 +39,7 @@ G1Jacobian::identity()
     return G1Jacobian{Fq::one(), Fq::one(), Fq::zero()};
 }
 
+// zkphire-lint: ct-exempt(identity-encoding check when lifting affine points)
 G1Jacobian
 G1Jacobian::fromAffine(const G1Affine &p)
 {
@@ -65,6 +68,7 @@ G1Jacobian::dbl() const
     return out;
 }
 
+// zkphire-lint: ct-exempt(identity/doubling special cases of the Jacobian group law; complete addition formulas are the ct fix and are tracked in ROADMAP)
 G1Jacobian
 G1Jacobian::add(const G1Jacobian &o) const
 {
@@ -96,6 +100,7 @@ G1Jacobian::add(const G1Jacobian &o) const
     return out;
 }
 
+// zkphire-lint: ct-exempt(identity/doubling special cases of the Jacobian group law; complete addition formulas are the ct fix and are tracked in ROADMAP)
 G1Jacobian
 G1Jacobian::addMixed(const G1Affine &o) const
 {
@@ -134,15 +139,41 @@ G1Jacobian::neg() const
 }
 
 G1Jacobian
-G1Jacobian::mulScalar(const Fr &k) const
+G1Jacobian::mulScalarPlain(const Fr &k) const
 {
     auto bits = k.toBig();
     G1Jacobian acc = identity();
     std::size_t nbits = bits.bitLength();
     for (std::size_t i = nbits; i-- > 0;) {
         acc = acc.dbl();
+        // zkphire-lint: ct-exempt(variable-time oracle; hot paths go through MSM)
         if (bits.bit(i))
             acc = acc.add(*this);
+    }
+    return acc;
+}
+
+G1Jacobian
+G1Jacobian::mulScalar(const Fr &k) const
+{
+    if (!glv::available())
+        return mulScalarPlain(k);
+    ff::BigInt<4> k1, k2;
+    glv::decompose(k.toBig(), k1, k2);
+    // Joint Shamir table over the two <= 128-bit halves: one doubling per
+    // bit position serves both k1 (against P) and k2 (against phi(P)),
+    // halving the ~255 doublings of the plain walk.
+    const G1Jacobian phi = glv::endomorphism(*this);
+    const G1Jacobian table[3] = {*this, phi, add(phi)};
+    G1Jacobian acc = identity();
+    std::size_t nbits = std::max(k1.bitLength(), k2.bitLength());
+    for (std::size_t i = nbits; i-- > 0;) {
+        acc = acc.dbl();
+        // zkphire-lint: ct-exempt(digit-serial like the plain oracle; ct scalar mul tracked in ROADMAP)
+        const unsigned idx =
+            unsigned(k1.bit(i)) | (unsigned(k2.bit(i)) << 1);
+        if (idx)
+            acc = acc.add(table[idx - 1]);
     }
     return acc;
 }
@@ -161,6 +192,7 @@ G1Jacobian::toAffine() const
     return out;
 }
 
+// zkphire-lint: ct-exempt(cross-representative equality used by oracle tests and parameter self-checks)
 bool
 G1Jacobian::operator==(const G1Jacobian &o) const
 {
@@ -173,6 +205,7 @@ G1Jacobian::operator==(const G1Jacobian &o) const
            Y * z2z2 * o.Z == o.Y * z1z1 * Z;
 }
 
+// zkphire-lint: ct-exempt(identity skip mirrors toAffine; normalization runs on commitment outputs, not witness limbs)
 std::vector<G1Affine>
 batchToAffine(std::span<const G1Jacobian> pts)
 {

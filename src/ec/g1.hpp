@@ -60,8 +60,19 @@ struct G1Jacobian {
 
     G1Jacobian neg() const;
 
-    /** Double-and-add scalar multiplication (canonical scalar bits). */
+    /**
+     * Scalar multiplication (canonical scalar bits). When the GLV
+     * parameters verify, k splits as k1 + lambda*k2 (both halves < 2^128)
+     * and a joint Shamir walk over {P, phi(P), P + phi(P)} halves the
+     * doubling count; otherwise falls back to mulScalarPlain. Both paths
+     * return bit-identical Jacobian coordinates for the same operation
+     * sequence domain — equality is locked by the GLV suite via toAffine.
+     */
     G1Jacobian mulScalar(const Fr &k) const;
+
+    /** Plain double-and-add oracle for mulScalar; also used by the GLV
+     *  parameter self-checks, which run before glv::params() is usable. */
+    G1Jacobian mulScalarPlain(const Fr &k) const;
 
     /** Normalize to affine (one field inversion). */
     G1Affine toAffine() const;

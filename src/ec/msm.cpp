@@ -113,6 +113,7 @@ struct WindowAcc {
 inline G1Affine
 negAffine(const G1Affine &p)
 {
+    // zkphire-lint: ct-exempt(identity-encoding check, same profile as the group law)
     return p.infinity ? p : G1Affine{p.x, p.y.neg(), false};
 }
 
@@ -340,9 +341,8 @@ msmBatchCore(std::span<const std::span<const Fr>> cols,
         [&](std::size_t i) {
             for (std::size_t j = 0; j < k; ++j) {
                 const Fr &s = cols[j][i];
-                const std::uint8_t kl = s.isZero() ? 0
-                                        : s.isOne() ? 1
-                                                    : 2;
+                // zkphire-lint: ct-exempt(trivial-scalar skip is the Pippenger win; scalar-shaped timing is inherent to bucket MSM)
+                const std::uint8_t kl = s.isZero() ? 0 : s.isOne() ? 1 : 2;
                 klass[i * k + j] = kl;
                 if (kl != 2)
                     continue;
@@ -511,6 +511,7 @@ msmBatchCore(std::span<const std::span<const Fr>> cols,
     for (std::size_t j = 0; j < k; ++j) {
         G1Jacobian result = G1Jacobian::identity();
         for (std::size_t w = num_windows; w-- > 0;) {
+            // zkphire-lint: ct-exempt(skips doublings only while the fold accumulator is still the identity)
             if (!result.isIdentity() || w + 1 != num_windows) {
                 for (unsigned d = 0; d < c; ++d) {
                     result = result.dbl();

@@ -20,6 +20,7 @@ recodeSignedDigits(const ff::BigInt<ff::Fr::numLimbs> &s, unsigned c,
         const std::size_t width =
             lo + c <= kNumBits ? c : kNumBits - lo;
         std::uint64_t raw = s.bits(lo, width) + carry;
+        // zkphire-lint: ct-exempt(signed-digit carry select; digits feed scalar-indexed buckets anyway — see msm.cpp)
         if (raw > half) {
             out[w * stride] = std::int32_t(raw) - full;
             carry = 1;

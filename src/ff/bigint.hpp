@@ -43,6 +43,7 @@ struct BigInt {
     isZero() const
     {
         for (std::size_t i = 0; i < N; ++i)
+            // zkphire-lint: ct-exempt(early-exit predicate; callers branch on the result anyway)
             if (limb[i] != 0) return false;
         return true;
     }
@@ -51,6 +52,7 @@ struct BigInt {
     constexpr bool operator!=(const BigInt &o) const { return limb != o.limb; }
 
     /** Three-way comparison as unsigned integers. */
+    // zkphire-lint: ct-exempt(lexicographic early exit; used for canonical-range checks and test oracles, not on witness limbs inside kernels)
     constexpr int
     cmp(const BigInt &o) const
     {
@@ -137,6 +139,7 @@ struct BigInt {
     }
 
     /** Index of the highest set bit plus one; 0 for zero. */
+    // zkphire-lint: ct-exempt(top-limb scan; consumed by recoding window counts, which the MSM pads to fixed width)
     constexpr std::size_t
     bitLength() const
     {
@@ -184,6 +187,7 @@ struct BigInt {
         std::string s = "0x";
         for (std::size_t i = N; i-- > 0;)
             for (int shift = 60; shift >= 0; shift -= 4)
+                // zkphire-lint: ct-exempt(hex serialization for logs/tests; the 16-entry LUT is one cache line)
                 s += digits[(limb[i] >> shift) & 0xf];
         return s;
     }

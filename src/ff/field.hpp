@@ -118,6 +118,7 @@ class PrimeField
     modDouble(Big &acc, const Big &p)
     {
         u64 carry = acc.shl1InPlace();
+        // zkphire-lint: ct-exempt(constexpr-time setup helper on the public modulus)
         if (carry || acc >= p)
             acc.subInPlace(p);
     }
@@ -215,6 +216,7 @@ class PrimeField
         for (std::size_t j = 0; j < N; ++j)
             out.limb[j] = t[j];
         // For our moduli (p < 2^(64N-1)) the pre-reduction result is < 2p.
+        // zkphire-lint: ct-exempt(generic CIOS oracle; the shipping fixed-limb kernels reduce branchlessly via condSubModulus)
         if (t[N] || out >= c.mod)
             out.subInPlace(c.mod);
         return out;
@@ -303,7 +305,7 @@ class PrimeField
                 b.limb[top_limb] &= (u64(1) << top_bits) - 1;
             for (std::size_t i = top_limb + 1; i < numLimbs; ++i)
                 b.limb[i] = 0;
-        } while (b >= c.mod);
+        } while (b >= c.mod); // zkphire-lint: ct-exempt(rejection sampling; only discarded randomness affects timing)
         return fromBig(b);
     }
 
@@ -354,6 +356,7 @@ class PrimeField
             }
         }
         u64 carry = v.addInPlace(o.v);
+        // zkphire-lint: ct-exempt(generic fallback; fixed-limb builds take the branchless kernel above)
         if (carry || v >= consts().mod)
             v.subInPlace(consts().mod);
         return *this;
@@ -378,6 +381,7 @@ class PrimeField
             }
         }
         u64 borrow = v.subInPlace(o.v);
+        // zkphire-lint: ct-exempt(generic fallback; fixed-limb builds take the branchless kernel above)
         if (borrow)
             v.addInPlace(consts().mod);
         return *this;
@@ -438,12 +442,14 @@ class PrimeField
         }
         PrimeField f = *this;
         u64 carry = f.v.shl1InPlace();
+        // zkphire-lint: ct-exempt(generic fallback; fixed-limb builds take the branchless kernel above)
         if (carry || f.v >= consts().mod)
             f.v.subInPlace(consts().mod);
         return f;
     }
 
     /** Exponentiation by a canonical BigInt exponent (square-and-multiply). */
+    // zkphire-lint: ct-exempt(every call site passes a public modulus-derived exponent: inversion, sqrt, subgroup checks)
     PrimeField
     pow(const Big &e) const
     {
@@ -488,6 +494,7 @@ class PrimeField
      * high 2-adicity). Returns false and leaves out untouched when the
      * element is a non-residue.
      */
+    // zkphire-lint: ct-exempt(Tonelli-Shanks is inherently value-dependent; used on public curve points, never witness limbs)
     bool
     sqrt(PrimeField &out) const
     {

@@ -88,7 +88,7 @@ struct ProveOptions {
     /** MSM algorithm knobs applied (via ec::ScopedMsmOptions) to every MSM
      *  of the proof — commitment multi-MSMs and opening quotients. The
      *  transcript is identical under every value; only speed moves. */
-    ec::MsmOptions msm;
+    ec::MsmOptions msm = {};
     /** Cross-lane executor for the proof's independent work units
      *  (per-column commitment MSMs, per-round sumcheck range splits, the
      *  two opening chains). Null runs every unit inline. Unit outputs are

@@ -1,0 +1,66 @@
+// Clean fixture: touches every checker's domain without violating any
+// rule — branchless limb handling, manifest-ordered locks, loop-indexed
+// parallel writes, ordered containers near the transcript. The fixture
+// suite asserts zkphire-lint reports zero findings here.
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ff/fr.hpp"
+#include "hash/transcript.hpp"
+#include "rt/parallel.hpp"
+
+namespace zkphire::lintfix {
+
+using ff::Fr;
+
+/** Branchless limb fold: no secret-dependent control flow or indexing. */
+std::uint64_t
+foldLimbs(const Fr &secret)
+{
+    const auto big = secret.toBig();
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < 4; ++i)
+        acc ^= big.limb[i] * 0x9e3779b97f4a7c15ull;
+    return acc;
+}
+
+struct OrderedLocks {
+    std::mutex qMu;
+    std::mutex mMu;
+    int queued = 0;
+    int metrics = 0;
+
+    void
+    drain()
+    {
+        std::lock_guard<std::mutex> ql(qMu);
+        std::lock_guard<std::mutex> ml(mMu);
+        queued = 0;
+        ++metrics;
+    }
+};
+
+/** Deterministic parallel map: every write lands at the loop index. */
+std::vector<double>
+doubled(const std::vector<double> &xs)
+{
+    std::vector<double> out(xs.size());
+    rt::parallelFor(0, xs.size(), [&](std::size_t i) {
+        const double scaled = xs[i] * 2.0;
+        out[i] = scaled;
+    });
+    return out;
+}
+
+/** Ordered container iteration: transcript bytes are reproducible. */
+void
+absorbLabels(hash::Transcript &t, const std::map<std::string, int> &labels)
+{
+    for (const auto &kv : labels)
+        t.appendU64("label", std::uint64_t(kv.second));
+}
+
+} // namespace zkphire::lintfix

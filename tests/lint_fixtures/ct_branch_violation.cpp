@@ -1,0 +1,26 @@
+// Seeded ct-kernel violation: branches and indexes on secret limb data.
+// This file is NOT compiled into the library — it exists so the lint
+// fixture suite can assert the checker flags exactly this shape.
+#include "ff/fr.hpp"
+
+namespace zkphire::lintfix {
+
+using ff::Fr;
+
+// A "table lookup + early exit" pattern on witness limbs: the classic
+// cache-timing leak the ct-kernel pass exists to catch.
+unsigned
+leakyDigest(const Fr &secret, const unsigned (&table)[16])
+{
+    const auto big = secret.toBig();
+    unsigned acc = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+        if (big.limb[i] == 0) // secret-dependent branch
+            return acc;
+        acc += table[big.limb[i] & 0xf]; // secret-dependent index
+        acc += unsigned(big.limb[i] % 7); // variable-latency modulo
+    }
+    return acc;
+}
+
+} // namespace zkphire::lintfix

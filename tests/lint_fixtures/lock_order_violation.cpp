@@ -1,0 +1,33 @@
+// Seeded lock-order violation: acquires qMu while holding mMu, inverting
+// the manifest edge qMu -> mMu (tools/lint/zkphire_lint.json). Not
+// compiled into the library; consumed by the lint fixture suite only.
+#include <mutex>
+
+namespace zkphire::lintfix {
+
+struct InvertedLocks {
+    std::mutex qMu;
+    std::mutex mMu;
+    int queued = 0;
+    int metrics = 0;
+
+    void
+    correctOrder()
+    {
+        std::lock_guard<std::mutex> ql(qMu);
+        std::lock_guard<std::mutex> ml(mMu);
+        ++queued;
+        ++metrics;
+    }
+
+    void
+    invertedOrder()
+    {
+        std::lock_guard<std::mutex> ml(mMu);
+        std::lock_guard<std::mutex> ql(qMu); // violates qMu -> mMu
+        ++metrics;
+        ++queued;
+    }
+};
+
+} // namespace zkphire::lintfix

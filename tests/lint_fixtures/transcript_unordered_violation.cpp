@@ -1,0 +1,26 @@
+// Seeded transcript-determinism violation: an unordered_map and
+// std::random_device in a TU that includes hash/transcript.hpp (so its
+// iteration order and entropy could reach proof bytes). Not compiled into
+// the library; consumed by the lint fixture suite only.
+#include <random>
+#include <string>
+#include <unordered_map>
+
+#include "hash/transcript.hpp"
+
+namespace zkphire::lintfix {
+
+void
+absorbLabels(hash::Transcript &t,
+             const std::unordered_map<std::string, int> &labels)
+{
+    // unordered_map iteration order is implementation-defined: the bytes
+    // absorbed below differ across standard libraries (and across runs
+    // with randomized hashing), breaking transcript reproducibility.
+    for (const auto &kv : labels)
+        t.appendU64("label", std::uint64_t(kv.second));
+    std::random_device rd; // nondeterministic entropy near a transcript
+    t.appendU64("salt", rd());
+}
+
+} // namespace zkphire::lintfix

@@ -94,6 +94,42 @@ TEST(Glv, EndomorphismIsMulByLambda)
     EXPECT_TRUE(glv::endomorphism(G1Jacobian::identity()).isIdentity());
 }
 
+/**
+ * The windowed GLV mulScalar (joint Shamir walk over {P, phi(P),
+ * P + phi(P)}) must be bit-identical to the plain double-and-add oracle
+ * after affine normalization, including the edge scalars the
+ * decomposition treats specially.
+ */
+TEST(Glv, MulScalarGlvMatchesPlainOracle)
+{
+    ASSERT_TRUE(glv::available());
+    Rng rng(7331);
+    const G1Jacobian id = G1Jacobian::identity();
+
+    std::vector<Fr> scalars = {Fr::zero(), Fr::one(), Fr::fromU64(2),
+                               glv::params().lambdaFr,
+                               Fr::zero() - Fr::one()}; // r - 1
+    for (int i = 0; i < 16; ++i)
+        scalars.push_back(Fr::random(rng));
+
+    for (const Fr &k : scalars) {
+        const G1Jacobian p = G1Jacobian::fromAffine(randomG1(rng));
+        const G1Affine glv_path = p.mulScalar(k).toAffine();
+        const G1Affine plain = p.mulScalarPlain(k).toAffine();
+        EXPECT_EQ(glv_path, plain) << k.toBig().toHex();
+        EXPECT_EQ(glv_path.infinity, plain.infinity);
+        if (!plain.infinity) {
+            // Affine coordinates are canonical: compare raw limbs too so a
+            // non-normalized representative can't sneak through ==.
+            EXPECT_EQ(glv_path.x.toBig().toHex(), plain.x.toBig().toHex());
+            EXPECT_EQ(glv_path.y.toBig().toHex(), plain.y.toBig().toHex());
+        }
+        // Identity point stays identity along both paths.
+        EXPECT_TRUE(id.mulScalar(k).isIdentity());
+        EXPECT_TRUE(id.mulScalarPlain(k).isIdentity());
+    }
+}
+
 TEST(Glv, MsmGlvMatchesPlainAndNaive)
 {
     Rng rng(555);
@@ -119,8 +155,9 @@ TEST(Glv, MsmGlvMatchesPlainAndNaive)
             const G1Jacobian b = msmPippengerOpt(scalars, points, glv_off);
             EXPECT_EQ(a, b);
             EXPECT_EQ(a.toAffine(), b.toAffine());
-            if (n <= 64)
+            if (n <= 64) {
                 EXPECT_EQ(a, msmNaive(scalars, points));
+            }
         }
     }
 }

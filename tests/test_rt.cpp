@@ -49,8 +49,9 @@ TEST(ThreadPool, DefaultThreadsRespectsEnv)
     ASSERT_EQ(unsetenv("ZKPHIRE_THREADS"), 0);
     EXPECT_EQ(rt::ThreadPool::defaultThreads(), fallback);
 
-    if (prev)
+    if (prev) {
         ASSERT_EQ(setenv("ZKPHIRE_THREADS", saved.c_str(), 1), 0);
+    }
 }
 
 TEST(ThreadPool, SingleThreadPoolRunsInlineWithNoWorkers)

@@ -122,8 +122,9 @@ TEST(Serialize, TamperedFieldElementFailsVerification)
     std::size_t claim_off = 12 + (k + 2) * 97;
     bytes[claim_off] ^= 0x01; // still canonical w.h.p., but wrong value
     auto back = deserializeProof(bytes);
-    if (back.has_value())
+    if (back.has_value()) {
         EXPECT_FALSE(verify(fixture().keys.vk, *back).ok);
+    }
 }
 
 TEST(Serialize, SizeMatchesUncompressedAccounting)
@@ -135,4 +136,24 @@ TEST(Serialize, SizeMatchesUncompressedAccounting)
     // within ~2.2x.
     EXPECT_GT(bytes.size(), p.sizeBytes());
     EXPECT_LT(double(bytes.size()), 2.2 * double(p.sizeBytes()));
+}
+
+// PR-8 acceptance lock: proof bytes are identical across the MSM GLV
+// split on/off and 1 vs 4 prover threads. Combined with the CI legs that
+// re-run this suite under ZKPHIRE_ASM=0 and ZKPHIRE_THREADS=4, this
+// covers the full {asm} x {GLV} x {threads} determinism matrix.
+TEST(Serialize, BytesIdenticalAcrossGlvAndThreads)
+{
+    const auto baseline = serializeProof(fixture().proof);
+    for (bool glv : {true, false}) {
+        for (unsigned threads : {1u, 4u}) {
+            ProveOptions opts;
+            opts.rt.threads = threads;
+            opts.msm.glv = glv;
+            HyperPlonkProof p =
+                prove(fixture().keys.pk, fixture().circuit, nullptr, opts);
+            EXPECT_EQ(serializeProof(p), baseline)
+                << "glv=" << glv << " threads=" << threads;
+        }
+    }
 }

@@ -295,8 +295,9 @@ TEST(SumcheckUnit, RoundTraceIsConsistent)
     // Residency is monotone: once on-chip, stays on-chip.
     bool seen_resident = false;
     for (const auto &t : run.trace) {
-        if (seen_resident)
+        if (seen_resident) {
             EXPECT_TRUE(t.resident) << "round " << t.round;
+        }
         seen_resident |= t.resident;
     }
 }
