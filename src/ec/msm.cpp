@@ -560,6 +560,289 @@ msmBatch(std::span<const std::span<const Fr>> cols,
     return msmBatchCore(cols, points, opts, stats);
 }
 
+MsmAccumulator::MsmAccumulator(std::size_t total_points, std::size_t num_cols,
+                               const MsmOptions &opts, MsmStats *stats,
+                               std::size_t chunk_hint)
+    : opts_(opts), stats_(stats), totalN_(total_points), k_(num_cols),
+      sgn_(opts.signedDigits)
+{
+    assert(total_points > 0 && num_cols > 0);
+    // Structural choices (GLV split, window width) are fixed from the TOTAL
+    // point count, exactly like a one-shot run over the concatenated chunks
+    // would fix them — per-point bucket work is then identical; streaming
+    // only adds the per-chunk window-sum merges.
+    useGlv_ = sgn_ && opts.glv && glv::available() &&
+              msmGlvProfitable(total_points, opts.batchAffine);
+    const std::size_t n_ext = useGlv_ ? 2 * total_points : total_points;
+    scalarBits_ = useGlv_ ? glv::kHalfBits : Fr::modulusBits();
+    if (opts.windowBits != 0) {
+        c_ = opts.windowBits;
+    } else if (!sgn_) {
+        c_ = pippengerAutoWindow(total_points);
+    } else {
+        // Chunked variant of pippengerAutoWindowSignedBits' argmin: the
+        // suffix-sum aggregation runs once per CHUNK per window (its
+        // per-chunk sums are then merged), so its term scales with the
+        // chunk count. At the default 2^20-element chunk this leaves the
+        // optimum at the one-shot width until chunks get tiny, and the
+        // added aggregation stays a low-double-digit-percent overhead.
+        const std::size_t num_chunks =
+            chunk_hint != 0
+                ? (total_points + chunk_hint - 1) / chunk_hint
+                : 1;
+        const double bucket_add = opts.batchAffine
+                                      ? msm_cost::kBatchAffineAdd
+                                      : msm_cost::kMixedAdd;
+        double best_cost = 0;
+        unsigned best = 2;
+        for (unsigned c = 2; c <= 16; ++c) {
+            const double nw = double(signedDigitWindows(scalarBits_, c));
+            const double buckets = double(std::size_t(1) << (c - 1));
+            const double cost =
+                nw * (double(n_ext) * bucket_add +
+                      double(num_chunks) * buckets * msm_cost::kAggPerBucket);
+            if (best_cost == 0 || cost < best_cost) {
+                best_cost = cost;
+                best = c;
+            }
+        }
+        c_ = best;
+    }
+    assert(c_ >= 1 && c_ <= 16);
+    numWindows_ = sgn_ ? signedDigitWindows(scalarBits_, c_)
+                       : (scalarBits_ + c_ - 1) / c_;
+    numBuckets_ = sgn_ ? (std::size_t(1) << (c_ - 1))
+                       : (std::size_t(1) << c_) - 1;
+    windowSums_.assign(numWindows_ * k_, G1Jacobian::identity());
+    trivial_.assign(k_, G1Jacobian::identity());
+}
+
+void
+MsmAccumulator::add(std::span<const std::span<const Fr>> cols,
+                    std::span<const G1Affine> points)
+{
+    using Clock = std::chrono::steady_clock;
+    const std::size_t n = points.size();
+    const std::size_t k = k_;
+    assert(cols.size() == k && "column count is fixed at construction");
+    if (n == 0)
+        return;
+#ifndef NDEBUG
+    for (const auto &col : cols)
+        assert(col.size() == n && "column/point length mismatch");
+#endif
+    assert(seen_ + n <= totalN_ && "more points than announced at ctor");
+    seen_ += n;
+
+    // Phase 1 (per chunk): classify + recode into the reused digit slab,
+    // same layout as msmBatchCore's but chunk-sized. Only the region this
+    // chunk uses is re-zeroed.
+    auto t0 = Clock::now();
+    const std::size_t n_ext = useGlv_ ? 2 * n : n;
+    const std::size_t stride = n_ext * k;
+    const std::size_t slab = numWindows_ * stride;
+    if (digits_.size() < slab)
+        digits_.resize(slab);
+    std::fill_n(digits_.begin(), slab, 0);
+    if (klass_.size() < n * k)
+        klass_.resize(n * k);
+    const bool use_glv = useGlv_;
+    const unsigned c = c_;
+    const std::size_t num_windows = numWindows_;
+    const std::size_t scalar_bits = scalarBits_;
+    rt::parallelFor(
+        0, n,
+        [&](std::size_t i) {
+            for (std::size_t j = 0; j < k; ++j) {
+                const Fr &s = cols[j][i];
+                // zkphire-lint: ct-exempt(trivial-scalar skip is the Pippenger win; scalar-shaped timing is inherent to bucket MSM)
+                const std::uint8_t kl = s.isZero() ? 0 : s.isOne() ? 1 : 2;
+                klass_[i * k + j] = kl;
+                if (kl != 2)
+                    continue;
+                const auto big = s.toBig();
+                std::int32_t *dst = &digits_[i * k + j];
+                if (use_glv) {
+                    ff::BigInt<4> k1, k2;
+                    glv::decompose(big, k1, k2);
+                    recodeSignedDigits(k1, c, num_windows, dst, stride);
+                    recodeSignedDigits(k2, c, num_windows,
+                                       &digits_[(n + i) * k + j], stride);
+                } else if (sgn_) {
+                    recodeSignedDigits(big, c, num_windows, dst, stride);
+                } else {
+                    for (std::size_t w = 0; w < num_windows; ++w) {
+                        const std::size_t lo = w * c;
+                        const unsigned width = unsigned(
+                            std::min<std::size_t>(c, scalar_bits - lo));
+                        dst[w * stride] = std::int32_t(big.bits(lo, width));
+                    }
+                }
+            }
+        },
+        /*grain=*/0, /*minGrain=*/256);
+
+    // Serial in-order sweep, and chunks arrive in index order, so each
+    // column's trivial accumulator sees the points in the exact global
+    // order of the one-shot kernel.
+    std::vector<std::size_t> col_dense(k, 0);
+    denseOrig_.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+        bool any_dense = false;
+        for (std::size_t j = 0; j < k; ++j) {
+            switch (klass_[i * k + j]) {
+            case 0:
+                if (stats_)
+                    ++stats_->trivialScalars;
+                break;
+            case 1:
+                trivial_[j] = trivial_[j].addMixed(points[i]);
+                if (stats_) {
+                    ++stats_->trivialScalars;
+                    ++stats_->pointAdds;
+                }
+                break;
+            default:
+                any_dense = true;
+                col_dense[j] += use_glv ? 2 : 1;
+                if (stats_)
+                    ++stats_->denseScalars;
+                break;
+            }
+        }
+        if (any_dense)
+            denseOrig_.push_back(std::uint32_t(i));
+    }
+
+    std::span<const std::uint32_t> dense_idx(denseOrig_);
+    std::span<const G1Affine> walk_points = points;
+    if (use_glv) {
+        denseIdx_.resize(2 * denseOrig_.size());
+        for (std::size_t d = 0; d < denseOrig_.size(); ++d) {
+            denseIdx_[2 * d] = denseOrig_[d];
+            denseIdx_[2 * d + 1] = std::uint32_t(n + denseOrig_[d]);
+        }
+        if (extPoints_.size() < 2 * n)
+            extPoints_.resize(2 * n);
+        std::copy(points.begin(), points.end(), extPoints_.begin());
+        rt::parallelFor(
+            0, denseOrig_.size(),
+            [&](std::size_t d) {
+                const std::uint32_t i = denseOrig_[d];
+                extPoints_[n + i] = glv::endomorphism(points[i]);
+            },
+            /*grain=*/0, /*minGrain=*/512);
+        dense_idx = std::span<const std::uint32_t>(denseIdx_.data(),
+                                                   2 * denseOrig_.size());
+        walk_points =
+            std::span<const G1Affine>(extPoints_.data(), 2 * n);
+    }
+    if (stats_)
+        stats_->recodeMs += msSince(t0);
+
+    // Phase 2 (per chunk): bucket accumulation + per-window aggregation,
+    // then merge this chunk's window sums into the persistent ones. Window
+    // sums are linear in the buckets and buckets are additive across
+    // chunks, so summing per-chunk aggregates equals aggregating the merged
+    // buckets — the group value matches the one-shot kernel's exactly.
+    t0 = Clock::now();
+    std::vector<std::uint32_t> ba_cols, jac_cols;
+    for (std::size_t j = 0; j < k; ++j) {
+        if (sgn_ && opts_.batchAffine &&
+            col_dense[j] >= opts_.batchAffineMinPoints)
+            ba_cols.push_back(std::uint32_t(j));
+        else
+            jac_cols.push_back(std::uint32_t(j));
+    }
+    chunkSums_.assign(num_windows * k, G1Jacobian::identity());
+    std::vector<WindowAcc> wacc(num_windows);
+    const std::size_t num_buckets = numBuckets_;
+    rt::ScopedThreads serialSmall(dense_idx.size() < 256 ? 1u : 0u);
+    constexpr std::size_t kCombineMaxEntries = std::size_t(1) << 16;
+    const bool combine_windows =
+        !ba_cols.empty() && num_windows > 1 && rt::currentThreads() <= 1 &&
+        num_windows * dense_idx.size() * ba_cols.size() <=
+            kCombineMaxEntries;
+    if (combine_windows) {
+        windowSumBatchAffine(walk_points, dense_idx, digits_.data(), stride,
+                             num_windows, k, ba_cols, num_buckets,
+                             chunkSums_.data(), wacc[0]);
+        for (std::size_t w = 0; w < num_windows && !jac_cols.empty(); ++w)
+            for (std::uint32_t j : jac_cols)
+                chunkSums_[w * k + j] = windowSumJacobian(
+                    walk_points, dense_idx, digits_.data() + w * stride + j,
+                    k, num_buckets, wacc[w]);
+    } else {
+        rt::parallelFor(
+            0, num_windows,
+            [&](std::size_t w) {
+                const std::int32_t *wdig = digits_.data() + w * stride;
+                if (!ba_cols.empty())
+                    windowSumBatchAffine(walk_points, dense_idx, wdig,
+                                         stride, /*num_win=*/1, k, ba_cols,
+                                         num_buckets, &chunkSums_[w * k],
+                                         wacc[w]);
+                for (std::uint32_t j : jac_cols)
+                    chunkSums_[w * k + j] = windowSumJacobian(
+                        walk_points, dense_idx, wdig + j, k, num_buckets,
+                        wacc[w]);
+            },
+            /*grain=*/1);
+    }
+    for (std::size_t i = 0; i < num_windows * k; ++i)
+        windowSums_[i] = windowSums_[i].add(chunkSums_[i]);
+    if (stats_) {
+        for (const WindowAcc &a : wacc) {
+            stats_->pointAdds += a.pointAdds;
+            stats_->affineAdds += a.affineAdds;
+            stats_->batchInversions += a.batchInversions;
+        }
+        stats_->pointAdds += num_windows * k; // chunk-sum merges
+        stats_->bucketMs += msSince(t0);
+    }
+}
+
+void
+MsmAccumulator::add(std::span<const Fr> scalars,
+                    std::span<const G1Affine> points)
+{
+    assert(scalars.size() == points.size());
+    const std::span<const Fr> col = scalars;
+    add(std::span<const std::span<const Fr>>(&col, 1), points);
+}
+
+std::vector<G1Jacobian>
+MsmAccumulator::finalize()
+{
+    using Clock = std::chrono::steady_clock;
+    assert(seen_ == totalN_ && "finalize before all chunks were added");
+    // Phase 3: fold windows most-significant-down with c doublings between,
+    // independently per column — verbatim the one-shot kernel's fold over
+    // the merged window sums.
+    auto t0 = Clock::now();
+    std::vector<G1Jacobian> out(k_, G1Jacobian::identity());
+    for (std::size_t j = 0; j < k_; ++j) {
+        G1Jacobian result = G1Jacobian::identity();
+        for (std::size_t w = numWindows_; w-- > 0;) {
+            // zkphire-lint: ct-exempt(skips doublings only while the fold accumulator is still the identity)
+            if (!result.isIdentity() || w + 1 != numWindows_) {
+                for (unsigned d = 0; d < c_; ++d) {
+                    result = result.dbl();
+                    if (stats_)
+                        ++stats_->pointDoubles;
+                }
+            }
+            result = result.add(windowSums_[w * k_ + j]);
+            if (stats_)
+                ++stats_->pointAdds;
+        }
+        out[j] = result.add(trivial_[j]);
+    }
+    if (stats_)
+        stats_->foldMs += msSince(t0);
+    return out;
+}
+
 G1Jacobian
 msmPippengerParallel(std::span<const Fr> scalars,
                      std::span<const G1Affine> points, const rt::Config &cfg,

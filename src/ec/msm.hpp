@@ -198,6 +198,71 @@ unsigned pippengerAutoWindowSignedBits(std::size_t n, std::size_t scalar_bits,
 bool msmGlvProfitable(std::size_t n, bool batch_affine = true);
 
 /**
+ * Chunk-streaming multi-column Pippenger accumulator: the commit path for
+ * tables too big to materialize. Construction fixes the window structure
+ * from the TOTAL point count (so per-point work matches the one-shot
+ * kernel); each add() recodes one chunk of scalars into a chunk-sized
+ * digit slab, accumulates its buckets (batched-affine where profitable),
+ * and suffix-sums them into persistent per-(window, column) partial sums —
+ * bucket weights are linear, so per-chunk aggregation sums to exactly the
+ * whole-run aggregate. Peak memory is O(chunk * num_windows) for the digit
+ * slab plus O(num_windows * columns) persistent sums, independent of the
+ * total size. finalize() folds the windows and returns results equal to
+ * msmBatch over the concatenated chunks as group elements (identical bytes
+ * after affine normalization — the transcript only ever sees normalized
+ * points).
+ */
+class MsmAccumulator
+{
+  public:
+    /**
+     * @param total_points Total MSM size (all chunks); fixes window bits.
+     * @param num_cols     Columns fed to every add() call.
+     * @param chunk_hint   Expected chunk size; biases the window argmin
+     *                     with the per-chunk aggregation cost (0 = one
+     *                     chunk, i.e. the one-shot choice).
+     */
+    MsmAccumulator(std::size_t total_points, std::size_t num_cols,
+                   const MsmOptions &opts = currentMsmOptions(),
+                   MsmStats *stats = nullptr, std::size_t chunk_hint = 0);
+
+    /** Feed the next chunk: cols[j] are column j's scalars for it, points
+     *  the matching basis slice. Chunks arrive in index order. */
+    void add(std::span<const std::span<const Fr>> cols,
+             std::span<const G1Affine> points);
+    /** Single-column convenience. */
+    void add(std::span<const Fr> scalars, std::span<const G1Affine> points);
+
+    /** Fold windows + trivial accumulators; call once, after all chunks. */
+    std::vector<G1Jacobian> finalize();
+
+    unsigned windowBits() const { return c_; }
+    std::size_t pointsSeen() const { return seen_; }
+
+  private:
+    MsmOptions opts_;
+    MsmStats *stats_;
+    std::size_t totalN_;
+    std::size_t k_;
+    std::size_t seen_ = 0;
+    bool sgn_;
+    bool useGlv_;
+    unsigned c_ = 0;
+    std::size_t scalarBits_;
+    std::size_t numWindows_;
+    std::size_t numBuckets_;
+    std::vector<G1Jacobian> windowSums_; ///< num_windows * k partial sums.
+    std::vector<G1Jacobian> trivial_;    ///< Per-column {1}-scalar sums.
+    // Chunk scratch reused across add() calls (sized to the largest chunk).
+    std::vector<std::int32_t> digits_;
+    std::vector<std::uint8_t> klass_;
+    std::vector<std::uint32_t> denseOrig_;
+    std::vector<std::uint32_t> denseIdx_;
+    std::vector<G1Affine> extPoints_;
+    std::vector<G1Jacobian> chunkSums_;
+};
+
+/**
  * Pippenger MSM with an explicit runtime config. Bucket accumulation runs
  * window-parallel on the zkphire::rt pool (each window's bucket set is
  * independent, mirroring the paper's parallel MSM PEs); the window fold

@@ -40,6 +40,7 @@ ProverContext::proveOptions(const rt::Config *rtOverride,
     }
     opts.plans = &planCache;
     opts.units = units;
+    opts.arena = &bufferArena;
     return opts;
 }
 

@@ -85,6 +85,12 @@ class ProverContext
     /** Per-context compiled-plan cache (thread-safe). */
     gates::PlanCache &plans() const { return planCache; }
 
+    /** Per-context buffer arena (thread-safe): scratch tables released by
+     *  one proof are reacquired by the next, so a proof stream on this
+     *  context stops allocating fold/quotient buffers after the first
+     *  proof (poly::storeCounters() makes the reuse measurable). */
+    poly::BufferArena &arena() const { return bufferArena; }
+
     /**
      * Preprocess a circuit against the attached SRS ("indexing"). The
      * returned Keys are owned by the context and stay valid — at a stable
@@ -123,6 +129,7 @@ class ProverContext
     rt::Config cfg;
     ec::MsmOptions msmOpts;
     mutable gates::PlanCache planCache;
+    mutable poly::BufferArena bufferArena;
     std::mutex keysMu;
     std::deque<hyperplonk::Keys> ownedKeys;
 };

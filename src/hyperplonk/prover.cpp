@@ -129,6 +129,7 @@ proveSetup(const ProvingKey &pk, const Circuit &circuit, ProverStats *stats,
     rt::ScopedConfig scope(opts.rt);
     ec::ScopedMsmOptions msm_scope(opts.msm);
     rt::ScopedUnitRunner unit_scope(opts.units);
+    poly::ScopedArena arena_scope(opts.arena);
     assert(circuit.system() == pk.sys);
     assert(circuit.numRows() == (std::size_t(1) << pk.mu));
 
@@ -173,6 +174,7 @@ proveOnline(const ProvingKey &pk, SetupState setup_state, ProverStats *stats,
     rt::ScopedConfig scope(opts.rt);
     ec::ScopedMsmOptions msm_scope(opts.msm);
     rt::ScopedUnitRunner unit_scope(opts.units);
+    poly::ScopedArena arena_scope(opts.arena);
 
     HyperPlonkProof proof = std::move(setup_state.proof);
     hash::Transcript tr = std::move(setup_state.tr);

@@ -96,6 +96,12 @@ struct ProveOptions {
      *  runner width — engine::ProofService points this at a ShardGroup of
      *  reserved idle lanes. */
     rt::UnitRunner *units = nullptr;
+    /** Buffer arena (installed via poly::ScopedArena) recycling the proof's
+     *  big scratch tables — sumcheck fold double buffers, opening working
+     *  copies and quotients — across proofs on one context. Null inherits
+     *  the ambient installation (none outside an engine context). The
+     *  transcript never depends on where a buffer came from. */
+    poly::BufferArena *arena = nullptr;
 };
 
 /**

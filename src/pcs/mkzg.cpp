@@ -1,18 +1,143 @@
 #include "pcs/mkzg.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <future>
 
 #include "ff/vec_ops.hpp"
 #include "rt/parallel.hpp"
 
 namespace zkphire::pcs {
 
-Commitment
-commit(const Srs &srs, const Mle &poly, ec::MsmStats *stats)
+namespace {
+
+using zkphire::poly::FrTable;
+
+/** Streaming-walk chunk size for an n-element table. */
+std::size_t
+streamChunkFor(std::size_t n)
 {
-    const LevelBases &bases = srs.basesFor(poly.numVars());
-    G1Jacobian c = ec::msmPippenger(poly.evals(), bases.suffix[0], 0, stats);
+    return std::min(n, zkphire::poly::currentStorePolicy().chunkElems);
+}
+
+/** Whether a commit over f should take the chunk-streaming MSM: the table
+ *  is mapped (walking it all at once would fault every page into RSS) or
+ *  at/above the ambient stream threshold, and bigger than one chunk. */
+bool
+shouldStreamCommit(const Mle &f)
+{
+    const zkphire::poly::StorePolicy pol =
+        zkphire::poly::currentStorePolicy();
+    return f.size() > pol.chunkElems &&
+           (f.isMapped() || f.size() >= pol.thresholdElems);
+}
+
+/**
+ * Commit already-materialized tables chunk by chunk: one MsmAccumulator
+ * consumes consecutive windows of every column, and consumed windows of
+ * mapped tables are dropped from RSS (the slab file keeps the data — later
+ * readers fault it back). Group values equal ec::msmBatch over the whole
+ * tables; commitments are affine-normalized, so the bytes match too.
+ */
+std::vector<G1Jacobian>
+msmStreamTables(std::span<const Mle *const> polys,
+                std::span<const G1Affine> points, ec::MsmStats *stats)
+{
+    const std::size_t n = points.size();
+    const std::size_t m = polys.size();
+    const std::size_t chunk = streamChunkFor(n);
+    ec::MsmAccumulator acc(n, m, ec::currentMsmOptions(), stats, chunk);
+    for (const Mle *p : polys)
+        p->store().adviseSequential();
+    std::vector<std::span<const Fr>> cols(m);
+    for (std::size_t b = 0; b < n; b += chunk) {
+        const std::size_t e = std::min(n, b + chunk);
+        for (std::size_t i = 0; i < m; ++i)
+            cols[i] = polys[i]->evals().subspan(b, e - b);
+        acc.add(cols, points.subspan(b, e - b));
+        for (const Mle *p : polys)
+            if (p->isMapped())
+                p->store().releaseWindow(b, e);
+    }
+    return acc.finalize();
+}
+
+} // namespace
+
+Commitment
+commit(const Srs &srs, const Mle &f, ec::MsmStats *stats)
+{
+    const LevelBases &bases = srs.basesFor(f.numVars());
+    if (shouldStreamCommit(f)) {
+        const Mle *one[] = {&f};
+        return Commitment{
+            msmStreamTables(one, bases.suffix[0], stats)[0].toAffine()};
+    }
+    G1Jacobian c = ec::msmPippenger(f.evals(), bases.suffix[0], 0, stats);
     return Commitment{c.toAffine()};
+}
+
+Commitment
+commitStreamed(const Srs &srs, unsigned mu, const ChunkProducer &produce,
+               ec::MsmStats *stats)
+{
+    return std::move(commitBatchStreamed(
+        srs, mu, std::span<const ChunkProducer>(&produce, 1), stats)[0]);
+}
+
+std::vector<Commitment>
+commitBatchStreamed(const Srs &srs, unsigned mu,
+                    std::span<const ChunkProducer> produce,
+                    ec::MsmStats *stats)
+{
+    const std::size_t m = produce.size();
+    std::vector<Commitment> out;
+    out.reserve(m);
+    if (m == 0)
+        return out;
+    const std::size_t n = std::size_t(1) << mu;
+    const std::size_t chunk = streamChunkFor(n);
+    const LevelBases &bases = srs.basesFor(mu);
+    const std::span<const G1Affine> points = bases.suffix[0];
+    ec::MsmAccumulator acc(n, m, ec::currentMsmOptions(), stats, chunk);
+
+    // Double-buffer pipeline: a prefetch task fills window i+1 while this
+    // thread recodes and buckets window i, overlapping table generation
+    // with the MSM. The prefetch runs serially — the pool belongs to the
+    // MSM side — and re-applies a snapshot of the ambient stream overrides,
+    // which are thread-local and would not propagate into std::async.
+    rt::Config snap;
+    snap.threads = 1;
+    snap.streamThreshold = rt::currentStreamThreshold();
+    snap.streamChunk = rt::currentStreamChunk();
+    std::vector<Fr> bufA(m * chunk), bufB(m * chunk);
+    const auto fill = [&produce, &snap, m, chunk](std::vector<Fr> &buf,
+                                                  std::size_t b,
+                                                  std::size_t e) {
+        rt::ScopedConfig scope(snap);
+        for (std::size_t i = 0; i < m; ++i)
+            produce[i](b, e, buf.data() + i * chunk);
+    };
+    fill(bufA, 0, std::min(n, chunk));
+    std::vector<std::span<const Fr>> cols(m);
+    for (std::size_t b = 0; b < n; b += chunk) {
+        const std::size_t e = std::min(n, b + chunk);
+        std::future<void> next;
+        if (e < n)
+            next = std::async(std::launch::async, [&fill, &bufB, e, n,
+                                                   chunk] {
+                fill(bufB, e, std::min(n, e + chunk));
+            });
+        for (std::size_t i = 0; i < m; ++i)
+            cols[i] = std::span<const Fr>(bufA.data() + i * chunk, e - b);
+        acc.add(cols, points.subspan(b, e - b));
+        if (next.valid())
+            next.get();
+        bufA.swap(bufB);
+    }
+    for (const G1Jacobian &c : acc.finalize())
+        out.push_back(Commitment{c.toAffine()});
+    return out;
 }
 
 std::vector<Commitment>
@@ -34,11 +159,20 @@ commitBatch(const Srs &srs, std::span<const Mle *const> polys,
             return out;
         }
     }
+    const LevelBases &bases = srs.basesFor(mu);
+    bool stream = false;
+    for (const Mle *p : polys)
+        stream = stream || shouldStreamCommit(*p);
+    if (stream) {
+        for (const G1Jacobian &c :
+             msmStreamTables(polys, bases.suffix[0], stats))
+            out.push_back(Commitment{c.toAffine()});
+        return out;
+    }
     std::vector<std::span<const Fr>> cols;
     cols.reserve(polys.size());
     for (const Mle *p : polys)
         cols.push_back(p->evals());
-    const LevelBases &bases = srs.basesFor(mu);
     for (const G1Jacobian &c : ec::msmBatch(cols, bases.suffix[0],
                                             ec::currentMsmOptions(), stats))
         out.push_back(Commitment{c.toAffine()});
@@ -87,30 +221,39 @@ openMany(const Srs &srs, std::span<const Mle *const> polys,
     }
     const LevelBases &bases = srs.basesFor(mu);
 
+    // Working copies, quotient buffers, and fold double buffers all come
+    // from the ambient arena (installed by engine::ProverContext), so a
+    // proof stream on one context reuses one set of allocations instead of
+    // reallocating ~2 * 2^mu elements per proof.
     std::vector<Mle> cur;
     cur.reserve(m);
     for (std::size_t i = 0; i < m; ++i) {
         assert(zs[i].size() == mu && "opening point dimension mismatch");
         proofs[i].quotients.reserve(mu);
-        cur.push_back(*polys[i]);
+        FrTable t = zkphire::poly::arenaAcquire(polys[i]->size());
+        t.assign(polys[i]->evals());
+        cur.push_back(Mle(std::move(t)));
     }
 
-    std::vector<std::vector<Fr>> q(m);
-    std::vector<std::vector<Fr>> fold_scratch(m); // double buffers, reused
+    std::vector<FrTable> q(m);
+    std::vector<FrTable> fold_scratch(m); // double buffers, reused
     std::vector<std::span<const Fr>> cols(m);
     for (unsigned k = 0; k < mu; ++k) {
         // q_k(X_{k+1}..) = cur(1, X..) - cur(0, X..): adjacent differences,
         // then ONE multi-MSM over the shared suffix basis for every chain.
         const std::size_t half = cur[0].size() / 2;
         for (std::size_t i = 0; i < m; ++i) {
-            q[i].resize(half);
+            if (q[i].capacity() == 0)
+                q[i] = zkphire::poly::arenaAcquire(half);
+            else
+                q[i].resize(half);
             const Mle &c = cur[i];
-            std::vector<Fr> &qi = q[i];
+            FrTable &qi = q[i];
             rt::parallelFor(
                 0, half,
                 [&](std::size_t j) { qi[j] = c[2 * j + 1] - c[2 * j]; },
                 /*grain=*/0, /*minGrain=*/1024);
-            cols[i] = qi;
+            cols[i] = qi.span();
         }
         std::vector<G1Jacobian> pis =
             ec::msmBatch(cols, bases.suffix[k + 1], ec::currentMsmOptions(),
@@ -119,6 +262,11 @@ openMany(const Srs &srs, std::span<const Mle *const> polys,
             proofs[i].quotients.push_back(pis[i].toAffine());
             cur[i].fixFirstVarInPlace(zs[i][k], fold_scratch[i]);
         }
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+        zkphire::poly::arenaRelease(std::move(cur[i].store()));
+        zkphire::poly::arenaRelease(std::move(q[i]));
+        zkphire::poly::arenaRelease(std::move(fold_scratch[i]));
     }
     return proofs;
 }

@@ -15,6 +15,8 @@
 #ifndef ZKPHIRE_PCS_MKZG_HPP
 #define ZKPHIRE_PCS_MKZG_HPP
 
+#include <cstddef>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -38,9 +40,41 @@ struct OpeningProof {
     std::size_t sizeBytes() const { return quotients.size() * 96; }
 };
 
-/** Commit to a multilinear polynomial (size-2^mu MSM). */
-Commitment commit(const Srs &srs, const Mle &poly,
-                  ec::MsmStats *stats = nullptr);
+/**
+ * Commit to a multilinear polynomial (size-2^mu MSM). Tables on the Mapped
+ * backend — or at/above the ambient stream threshold — are committed by the
+ * chunk-streaming path automatically: the MSM accumulates one stream chunk
+ * of recoded buckets at a time and consumed pages of a mapped table are
+ * released, so peak RSS is O(chunk) instead of O(2^mu). The commitment
+ * bytes are identical either way.
+ */
+Commitment commit(const Srs &srs, const Mle &f, ec::MsmStats *stats = nullptr);
+
+/**
+ * Fills dst[0 .. end-begin) with entries [begin, end) of one column of
+ * evaluations. commitStreamed calls it with consecutive, non-overlapping
+ * [begin, end) windows in ascending order, from a prefetch thread that runs
+ * concurrently with the MSM work on the previous window.
+ */
+using ChunkProducer =
+    std::function<void(std::size_t begin, std::size_t end, Fr *dst)>;
+
+/**
+ * Commit to a 2^mu-evaluation polynomial produced chunk by chunk: the table
+ * is never materialized. A double buffer overlaps producing window i+1 with
+ * recoding/bucketing window i, so table generation and MSM window
+ * accumulation pipeline. Equals commit() on the materialized table exactly.
+ */
+Commitment commitStreamed(const Srs &srs, unsigned mu,
+                          const ChunkProducer &produce,
+                          ec::MsmStats *stats = nullptr);
+
+/** Multi-column commitStreamed: one producer per polynomial, one shared
+ *  point walk per chunk (the streaming analogue of commitBatch). */
+std::vector<Commitment>
+commitBatchStreamed(const Srs &srs, unsigned mu,
+                    std::span<const ChunkProducer> produce,
+                    ec::MsmStats *stats = nullptr);
 
 /**
  * Commit to several same-size polynomials with one multi-MSM

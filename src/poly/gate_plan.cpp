@@ -221,6 +221,19 @@ GatePlan::accumulatePairs(std::span<const Mle> tables, std::size_t begin,
                           std::vector<Fr> &scratch) const
 {
     assert(tables.size() >= nSlots);
+    constexpr std::size_t kMaxSlots = 64;
+    assert(nSlots <= kMaxSlots && "raise kMaxSlots for wider gates");
+    const Fr *ptrs[kMaxSlots];
+    for (std::uint32_t s = 0; s < nSlots; ++s)
+        ptrs[s] = tables[s].data();
+    accumulatePairs(ptrs, begin, end, acc, scratch);
+}
+
+void
+GatePlan::accumulatePairs(const Fr *const *tables, std::size_t begin,
+                          std::size_t end, std::span<Fr> acc,
+                          std::vector<Fr> &scratch) const
+{
     assert(acc.size() == accLen);
 
     // SIMD-blocked hot loop: table pairs are processed kPairBlock at a
@@ -244,7 +257,7 @@ GatePlan::accumulatePairs(std::span<const Mle> tables, std::size_t begin,
         // Extension Engines: each slot to its own point bound, lane-major
         // rows so row p is one vector add over the block's diffs.
         for (SlotId s : usedSlots) {
-            const Mle &tbl = tables[s];
+            const Fr *tbl = tables[s];
             Fr *e = regs + std::size_t(s) * W * bs;
             for (std::size_t jj = 0; jj < bs; ++jj) {
                 const Fr lo = tbl[2 * (j + jj)];

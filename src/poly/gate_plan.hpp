@@ -147,6 +147,17 @@ class GatePlan
                          std::vector<Fr> &scratch) const;
 
     /**
+     * Same hot loop over raw table pointers (tables[s] points at >= 2*end
+     * entries). This is the entry the fused fold+evaluate sumcheck path
+     * uses: its pair source is a freshly folded chunk in a scratch buffer,
+     * not a whole Mle. Bit-identical to the Mle overload by construction
+     * (the Mle overload delegates here).
+     */
+    void accumulatePairs(const Fr *const *tables, std::size_t begin,
+                         std::size_t end, std::span<Fr> acc,
+                         std::vector<Fr> &scratch) const;
+
+    /**
      * Per-round finalize: extend every degree class to nodes 0..D with
      * Newton forward differences and sum, yielding s_i(0..D) — exactly the
      * values the naive evaluator accumulates point by point.

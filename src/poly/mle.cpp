@@ -29,11 +29,28 @@ log2Exact(std::size_t n)
 } // namespace
 
 Mle::Mle(unsigned num_vars)
-    : vals(std::size_t(1) << num_vars, Fr::zero()), nVars(num_vars)
+    : vals(FrTable::make(std::size_t(1) << num_vars)), nVars(num_vars)
 {
 }
 
-Mle::Mle(std::vector<Fr> evals_in) : vals(std::move(evals_in))
+Mle::Mle(std::vector<Fr> evals_in)
+{
+    const std::size_t n = evals_in.size();
+    assert(isPowerOfTwo(n) && "MLE table must be a power of two");
+    // Vector-built tables (witness synthesis, product trees) honor the
+    // streaming policy too: at/above the threshold the values move onto a
+    // mapped slab (so the table's pages are reclaimable) instead of
+    // adopting the heap vector. Same bytes either way.
+    if (n >= currentStorePolicy().thresholdElems) {
+        vals = arenaAcquire(n);
+        vals.assign(evals_in);
+    } else {
+        vals = FrTable::adopt(std::move(evals_in));
+    }
+    nVars = log2Exact(n);
+}
+
+Mle::Mle(FrTable table) : vals(std::move(table))
 {
     assert(isPowerOfTwo(vals.size()) && "MLE table must be a power of two");
     nVars = log2Exact(vals.size());
@@ -77,37 +94,81 @@ Mle::randomSparse(unsigned num_vars, ff::Rng &rng, double p_zero, double p_one)
 Mle
 Mle::eqTable(std::span<const Fr> r)
 {
-    // Tensor-product construction: variable i doubles the table, placing
-    // its 0/1 split at bit i of the index (x_i = 0 keeps the lower copy).
-    // This is the O(N)-multiplication Build MLE kernel run by the
-    // Multifunction Forest in hardware.
-    std::vector<Fr> table{Fr::one()};
-    table.reserve(std::size_t(1) << r.size());
-    for (std::size_t i = 0; i < r.size(); ++i) {
-        const std::size_t half = table.size();
+    // Arena-acquired: eq tables are among the biggest per-proof allocations
+    // (one per ZeroCheck/OpenCheck), and on the mapped backend a freshly
+    // fallocated slab pays first-touch I/O costs a recycled warm slab does
+    // not. eqTableInto overwrites every entry, so recycled contents never
+    // leak through.
+    FrTable out = arenaAcquire(std::size_t(1) << r.size());
+    eqTableInto(r, out);
+    return Mle(std::move(out));
+}
+
+void
+eqTableInto(std::span<const Fr> r, FrTable &out)
+{
+    const unsigned n = unsigned(r.size());
+    out.resize(std::size_t(1) << n);
+
+    // Suffix table over the low s variables, built by the classic doubling
+    // construction: variable i doubles the table, placing its 0/1 split at
+    // bit i of the index (x_i = 0 keeps the lower copy). This is the
+    // O(N)-multiplication Build MLE kernel run by the Multifunction Forest
+    // in hardware; here it is capped at the stream chunk size.
+    unsigned s = 0;
+    const std::size_t chunkElems = currentStorePolicy().chunkElems;
+    while (s < n && (std::size_t(1) << (s + 1)) <= chunkElems)
+        ++s;
+
+    std::vector<Fr> suffix{Fr::one()};
+    suffix.reserve(std::size_t(1) << s);
+    for (unsigned i = 0; i < s; ++i) {
+        const std::size_t half = suffix.size();
         std::vector<Fr> next(half * 2);
         rt::parallelFor(
             0, half,
             [&](std::size_t j) {
-                Fr hi = table[j] * r[i];
-                next[j] = table[j] - hi; // e*(1 - r_i)
-                next[j + half] = hi;     // e*r_i
+                Fr hi = suffix[j] * r[i];
+                next[j] = suffix[j] - hi; // e*(1 - r_i)
+                next[j + half] = hi;      // e*r_i
             },
             /*grain=*/0, /*minGrain=*/kParallelThreshold);
-        table = std::move(next);
+        suffix = std::move(next);
     }
-    return Mle(std::move(table));
+
+    const std::size_t chunk = std::size_t(1) << s;
+    if (s == n) {
+        std::copy(suffix.begin(), suffix.end(), out.data());
+        return;
+    }
+
+    // Tensor step: chunk c of the output is the suffix table scaled by the
+    // prefix weight prod_{i>=s} (c_i r_i + (1-c_i)(1-r_i)). Exact field
+    // multiplication makes every entry the same element — hence the same
+    // bytes — as the doubling construction's. Each chunk is written by one
+    // pool thread, so slab pages are first-touched by their consumer.
+    const std::size_t numChunks = std::size_t(1) << (n - s);
+    rt::parallelFor(0, numChunks, [&](std::size_t c) {
+        Fr w = Fr::one();
+        for (unsigned i = s; i < n; ++i) {
+            Fr hi = w * r[i];
+            w = ((c >> (i - s)) & 1) != 0 ? hi : w - hi;
+        }
+        Fr *dst = out.data() + c * chunk;
+        for (std::size_t j = 0; j < chunk; ++j)
+            dst[j] = w * suffix[j];
+    });
 }
 
 void
 Mle::fixFirstVarInPlace(const Fr &r)
 {
-    std::vector<Fr> scratch;
+    FrTable scratch;
     fixFirstVarInPlace(r, scratch);
 }
 
 void
-Mle::fixFirstVarInPlace(const Fr &r, std::vector<Fr> &scratch)
+Mle::fixFirstVarInPlace(const Fr &r, FrTable &scratch)
 {
     assert(nVars > 0 && "cannot fold a 0-variable MLE");
     const std::size_t half = vals.size() / 2;
@@ -130,8 +191,13 @@ Mle::fixFirstVarInPlace(const Fr &r, std::vector<Fr> &scratch)
         // path folds into the scratch buffer and swaps: after the swap the
         // old table becomes the next round's scratch, so repeated folds
         // alternate between two buffers instead of allocating. Same
-        // arithmetic per index, hence bit-identical values.
-        scratch.resize(half);
+        // arithmetic per index, hence bit-identical values. A fresh scratch
+        // comes from the ambient arena so consecutive proofs on one context
+        // recycle the same buffer.
+        if (scratch.capacity() == 0)
+            scratch = arenaAcquire(half);
+        else
+            scratch.resize(half);
         rt::parallelFor(
             0, half,
             [&](std::size_t j) {
@@ -142,6 +208,14 @@ Mle::fixFirstVarInPlace(const Fr &r, std::vector<Fr> &scratch)
             /*grain=*/0, /*minGrain=*/256);
         vals.swap(scratch);
     }
+    --nVars;
+}
+
+void
+Mle::swapFolded(FrTable &folded)
+{
+    assert(nVars > 0 && folded.size() * 2 == vals.size());
+    vals.swap(folded);
     --nVars;
 }
 

@@ -8,6 +8,10 @@
  * table index is X1, the first variable a SumCheck round sums over and then
  * fixes. Consequently "MLE Update" (fixing X1 := r) combines adjacent entry
  * pairs (2j, 2j+1), exactly the pairing shown in Fig. 1 of the paper.
+ *
+ * Tables live in a poly::FrTable (mle_store.hpp), which transparently picks
+ * the in-RAM or mmap-slab streaming backend by size — every operation here
+ * is bit-identical under either backend.
  */
 #ifndef ZKPHIRE_POLY_MLE_HPP
 #define ZKPHIRE_POLY_MLE_HPP
@@ -19,6 +23,7 @@
 
 #include "ff/fr.hpp"
 #include "ff/rng.hpp"
+#include "poly/mle_store.hpp"
 
 namespace zkphire::poly {
 
@@ -46,6 +51,9 @@ class Mle
     /** Adopt an existing evaluation table; size must be a power of two. */
     explicit Mle(std::vector<Fr> evals);
 
+    /** Adopt a storage table; size must be a power of two. */
+    explicit Mle(FrTable table);
+
     /** Constant polynomial c over num_vars variables. */
     static Mle constant(unsigned num_vars, const Fr &c);
 
@@ -63,7 +71,9 @@ class Mle
     /**
      * The eq(x, r) table: eq(x,r) = prod_i (x_i r_i + (1-x_i)(1-r_i)).
      * This is the paper's "Build MLE" kernel constructing the ZeroCheck
-     * masking polynomial f_r from the challenge vector r.
+     * masking polynomial f_r from the challenge vector r. Built chunk-local
+     * via eqTableInto, so a streamed table is materialized O(chunk) at a
+     * time.
      */
     static Mle eqTable(std::span<const Fr> r);
 
@@ -72,9 +82,16 @@ class Mle
 
     const Fr &operator[](std::size_t i) const { return vals[i]; }
     Fr &operator[](std::size_t i) { return vals[i]; }
+    const Fr *data() const { return vals.data(); }
+    Fr *data() { return vals.data(); }
 
-    const std::vector<Fr> &evals() const { return vals; }
-    std::vector<Fr> &evals() { return vals; }
+    std::span<const Fr> evals() const { return vals.span(); }
+    std::span<Fr> evals() { return {vals.data(), vals.size()}; }
+
+    /** Storage backend access (streaming walks use the madvise hooks). */
+    const FrTable &store() const { return vals; }
+    FrTable &store() { return vals; }
+    bool isMapped() const { return vals.isMapped(); }
 
     /**
      * MLE Update: fix X1 := r, halving the table. new[j] =
@@ -91,7 +108,15 @@ class Mle
      * place and leaves `scratch` untouched. Values are bit-identical to the
      * scratch-less overload.
      */
-    void fixFirstVarInPlace(const Fr &r, std::vector<Fr> &scratch);
+    void fixFirstVarInPlace(const Fr &r, FrTable &scratch);
+
+    /**
+     * Adopt an externally folded half-size table (the double-buffer seam
+     * VirtualPoly::foldAndAccumulate writes through): this table and
+     * `folded` swap backings and the variable count drops by one, exactly
+     * like the parallel fixFirstVarInPlace path.
+     */
+    void swapFolded(FrTable &folded);
 
     /** Non-destructive MLE Update. */
     Mle fixFirstVar(const Fr &r) const;
@@ -108,9 +133,21 @@ class Mle
     bool operator==(const Mle &o) const = default;
 
   private:
-    std::vector<Fr> vals;
+    FrTable vals;
     unsigned nVars = 0;
 };
+
+/**
+ * Build the eq(x, r) table into an existing table (resized to 2^|r|),
+ * chunk-locally: a size-2^s suffix table over the low s variables is built
+ * once (s = log2 of the ambient stream chunk), then each chunk of the
+ * output is that suffix table scaled by the chunk's prefix weight
+ * prod_{i>=s} (c_i r_i + (1-c_i)(1-r_i)). Exact field arithmetic makes the
+ * result bit-identical to the doubling construction, while only O(chunk)
+ * of the output is hot at a time (and each chunk is first-touched by the
+ * pool thread that fills it).
+ */
+void eqTableInto(std::span<const Fr> r, FrTable &out);
 
 /**
  * Evaluate eq(x, y) for two arbitrary points of equal dimension:

@@ -52,6 +52,13 @@ Fr
 VirtualPoly::sumOverHypercube() const
 {
     const std::size_t n = std::size_t(1) << nVars;
+    // Read-only pass over every slot table. On the mapped backend the
+    // consumed window is dropped block by block — the page-cache copy keeps
+    // the data (MAP_SHARED), so later rounds re-fault it, while the resident
+    // set through this pass stays O(chunk) instead of O(N * slots). Blocked
+    // inside the callback so a serial run benefits too.
+    const std::size_t rel_blk =
+        std::max<std::size_t>(currentStorePolicy().chunkElems, 4096);
     return rt::parallelReduce<Fr>(
         0, n, Fr::zero(),
         [&](std::size_t b, std::size_t e) {
@@ -60,15 +67,45 @@ VirtualPoly::sumOverHypercube() const
             std::vector<Fr> slot_vals(tables.size());
             std::vector<Fr> regs;
             Fr part = Fr::zero();
-            for (std::size_t i = b; i < e; ++i) {
-                for (std::size_t s = 0; s < tables.size(); ++s)
-                    slot_vals[s] = tables[s][i];
-                part += evalPlan->evaluate(slot_vals, regs);
+            for (std::size_t i0 = b; i0 < e; i0 += rel_blk) {
+                const std::size_t i1 = std::min(e, i0 + rel_blk);
+                for (std::size_t i = i0; i < i1; ++i) {
+                    for (std::size_t s = 0; s < tables.size(); ++s)
+                        slot_vals[s] = tables[s][i];
+                    part += evalPlan->evaluate(slot_vals, regs);
+                }
+                for (const Mle &t : tables)
+                    if (t.isMapped())
+                        t.store().releaseWindow(i0, i1);
             }
             return part;
         },
         [](Fr acc, Fr part) { return acc + part; },
         /*grain=*/0, /*minGrain=*/512);
+}
+
+VirtualPoly::~VirtualPoly()
+{
+    // Return the double buffers AND the consumed slot tables to the ambient
+    // arena (when one is installed) so the next proof on this context skips
+    // the allocation. The tables are owned copies the sumcheck has folded
+    // down; their slabs keep full capacity through the shrinks, which is
+    // exactly what the next proof's same-size tables want.
+    for (FrTable &s : foldScratch)
+        if (s.capacity() != 0)
+            arenaRelease(std::move(s));
+    for (Mle &t : tables)
+        if (t.store().capacity() != 0)
+            arenaRelease(std::move(t.store()));
+}
+
+bool
+VirtualPoly::anyTableMapped() const
+{
+    for (const Mle &t : tables)
+        if (t.isMapped())
+            return true;
+    return false;
 }
 
 void
@@ -86,6 +123,86 @@ VirtualPoly::fixFirstVarInPlace(const Fr &r)
         },
         /*grain=*/1);
     --nVars;
+}
+
+std::vector<Fr>
+VirtualPoly::foldAndAccumulate(const Fr &r)
+{
+    assert(nVars >= 2 && "fused fold+evaluate needs a next round");
+    const std::size_t half = std::size_t(1) << (nVars - 1);
+    const std::size_t pairs = half / 2;
+    const std::size_t num_slots = tables.size();
+
+    for (std::size_t s = 0; s < num_slots; ++s) {
+        if (foldScratch[s].capacity() == 0)
+            foldScratch[s] = arenaAcquire(half);
+        else
+            foldScratch[s].resize(half);
+    }
+
+    // One walk per chunk: fold every table's region [2b, 2e) into the
+    // scratch buffers, then immediately run the plan's pair accumulation
+    // over the freshly written pairs [b, e) while they are cache-hot (and,
+    // on the mapped backend, before their pages go cold). Chunks partition
+    // the pair range, so each folded index is written exactly once, by the
+    // thread that then reads it. Fold formula and accumulation arithmetic
+    // are identical to the unfused path's; field ops are exact, so both the
+    // folded tables and the accumulator are bit-identical to
+    // fixFirstVarInPlace + accumulatePairs run separately.
+    // Residency bound: each block of blk_pairs pairs reads 4 * blk_pairs
+    // source entries and writes 2 * blk_pairs scratch entries per slot.
+    // After the block's pair accumulation both windows are dropped — the
+    // source is never read again this proof (after swapFolded the old store
+    // becomes next round's scratch, fully rewritten before any read), and
+    // the scratch window's data survives release in the page cache
+    // (MAP_SHARED), re-faulted when the next round reads it as source. The
+    // block loop lives inside the callback (not per parallel chunk) so a
+    // serial run — one callback for the whole range — still walks the round
+    // O(chunk)-resident.
+    const std::size_t blk_pairs = std::max<std::size_t>(
+        currentStorePolicy().chunkElems / 4, std::size_t(2048));
+    const std::size_t acc_len = evalPlan->accSize();
+    std::vector<Fr> acc = rt::parallelReduce<std::vector<Fr>>(
+        0, pairs, std::vector<Fr>(acc_len, Fr::zero()),
+        [&](std::size_t b, std::size_t e) {
+            constexpr std::size_t kMaxSlots = 64;
+            assert(num_slots <= kMaxSlots && "raise kMaxSlots");
+            const Fr *ptrs[kMaxSlots];
+            std::vector<Fr> part(acc_len, Fr::zero());
+            std::vector<Fr> scratch;
+            for (std::size_t p0 = b; p0 < e; p0 += blk_pairs) {
+                const std::size_t p1 = std::min(e, p0 + blk_pairs);
+                for (std::size_t s = 0; s < num_slots; ++s) {
+                    const Mle &t = tables[s];
+                    Fr *sc = foldScratch[s].data();
+                    for (std::size_t i = 2 * p0; i < 2 * p1; ++i) {
+                        Fr lo = t[2 * i];
+                        Fr hi = t[2 * i + 1];
+                        sc[i] = lo + r * (hi - lo);
+                    }
+                    ptrs[s] = sc;
+                }
+                evalPlan->accumulatePairs(ptrs, p0, p1, part, scratch);
+                for (std::size_t s = 0; s < num_slots; ++s) {
+                    if (tables[s].isMapped())
+                        tables[s].store().releaseWindow(4 * p0, 4 * p1);
+                    if (foldScratch[s].isMapped())
+                        foldScratch[s].releaseWindow(2 * p0, 2 * p1);
+                }
+            }
+            return part;
+        },
+        [&](std::vector<Fr> a, std::vector<Fr> p) {
+            for (std::size_t i = 0; i < acc_len; ++i)
+                a[i] += p[i];
+            return a;
+        },
+        /*grain=*/0, /*minGrain=*/256);
+
+    for (std::size_t s = 0; s < num_slots; ++s)
+        tables[s].swapFolded(foldScratch[s]);
+    --nVars;
+    return acc;
 }
 
 } // namespace zkphire::poly

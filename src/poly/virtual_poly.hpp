@@ -72,13 +72,36 @@ class VirtualPoly
     /** Fold every bound table with the round challenge (MLE Update). */
     void fixFirstVarInPlace(const Fr &r);
 
+    /**
+     * Fused MLE Update + next-round evaluation: fold every table with r
+     * into the scratch buffers and, in the same chunk walk, accumulate the
+     * plan's pair contributions of the *folded* tables — each chunk is
+     * evaluated while its freshly written entries are still hot, so a
+     * streamed table is walked once per round instead of twice. Returns
+     * the flat class accumulator (length plan().accSize()); values are
+     * bit-identical to fixFirstVarInPlace(r) followed by a separate
+     * accumulation (exact field arithmetic, identical per-index formulas).
+     * Requires numVars() >= 2.
+     */
+    std::vector<Fr> foldAndAccumulate(const Fr &r);
+
+    /** True when any bound table lives on the mapped streaming backend. */
+    bool anyTableMapped() const;
+
+    VirtualPoly(VirtualPoly &&) = default;
+    VirtualPoly &operator=(VirtualPoly &&) = default;
+    ~VirtualPoly();
+
   private:
     GateExpr structure;
     std::shared_ptr<const GatePlan> evalPlan;
     std::vector<Mle> tables;
     /** Per-table double buffers reused across round folds (no per-round
-     *  allocation when a fold takes the out-of-place parallel path). */
-    std::vector<std::vector<Fr>> foldScratch;
+     *  allocation when a fold takes the out-of-place parallel path).
+     *  Acquired lazily from the ambient arena; released back on
+     *  destruction, so consecutive proofs on one ProverContext reuse the
+     *  same slabs. */
+    std::vector<FrTable> foldScratch;
     unsigned nVars = 0;
 };
 

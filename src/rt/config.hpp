@@ -38,6 +38,14 @@ struct Config {
     unsigned threads = 0;       ///< 0 = inherit ambient / runtime default.
     std::size_t minGrain = 0;   ///< 0 = kernel default chunk-size floors.
     ThreadPool *pool = nullptr; ///< null = process-global pool.
+    /** Element count at which prover tables switch to the chunk-streaming
+     *  (mmap-slab) backend. 0 inherits the ambient setting / the
+     *  ZKPHIRE_STREAM* environment defaults; SIZE_MAX disables streaming;
+     *  1 forces it for every table (the oracle tests pin this). */
+    std::size_t streamThreshold = 0;
+    /** Elements per chunk for streaming walks (commit pipeline, eq-table
+     *  build). 0 inherits ambient / ZKPHIRE_STREAM_CHUNK / 2^20. */
+    std::size_t streamChunk = 0;
 
     /** Config with `threads` resolved to the runtime default
      *  (ZKPHIRE_THREADS when set, hardware concurrency otherwise). */

@@ -1,0 +1,104 @@
+#include "rt/numa.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#ifdef __linux__
+#include <sched.h>
+#endif
+
+namespace zkphire::rt::numa {
+
+namespace {
+
+/** Parse a sysfs cpulist ("0-3,8,10-11") into explicit CPU ids. */
+std::vector<int>
+parseCpuList(const std::string &list)
+{
+    std::vector<int> cpus;
+    std::stringstream ss(list);
+    std::string range;
+    while (std::getline(ss, range, ',')) {
+        if (range.empty())
+            continue;
+        const std::size_t dash = range.find('-');
+        const int lo = std::atoi(range.c_str());
+        const int hi = dash == std::string::npos
+                           ? lo
+                           : std::atoi(range.c_str() + dash + 1);
+        for (int c = lo; c <= hi; ++c)
+            cpus.push_back(c);
+    }
+    return cpus;
+}
+
+std::vector<std::vector<int>>
+discoverNodes()
+{
+    std::vector<std::vector<int>> nodes;
+#ifdef __linux__
+    for (std::size_t n = 0;; ++n) {
+        std::ifstream f("/sys/devices/system/node/node" + std::to_string(n) +
+                        "/cpulist");
+        if (!f.is_open())
+            break;
+        std::string list;
+        std::getline(f, list);
+        std::vector<int> cpus = parseCpuList(list);
+        if (!cpus.empty())
+            nodes.push_back(std::move(cpus));
+    }
+#endif
+    return nodes;
+}
+
+} // namespace
+
+const std::vector<std::vector<int>> &
+nodeCpus()
+{
+    static const std::vector<std::vector<int>> nodes = discoverNodes();
+    return nodes;
+}
+
+std::size_t
+numNodes()
+{
+    const std::size_t n = nodeCpus().size();
+    return n == 0 ? 1 : n;
+}
+
+bool
+enabled()
+{
+    static const bool on = [] {
+        const char *env = std::getenv("ZKPHIRE_NUMA");
+        if (env == nullptr || std::strcmp(env, "0") == 0)
+            return false;
+        return numNodes() >= 2;
+    }();
+    return on;
+}
+
+bool
+bindCurrentThreadToNode(std::size_t node)
+{
+#ifdef __linux__
+    if (!enabled() || node >= nodeCpus().size())
+        return false;
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    for (int c : nodeCpus()[node])
+        if (c >= 0 && std::size_t(c) < CPU_SETSIZE)
+            CPU_SET(c, &set);
+    return sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+    (void)node;
+    return false;
+#endif
+}
+
+} // namespace zkphire::rt::numa

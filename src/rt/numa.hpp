@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Minimal NUMA topology discovery + thread placement for the runtime.
+ *
+ * Everything here is gated on the ZKPHIRE_NUMA environment variable: unset
+ * (or "0"), every call degrades to a no-op and the runtime behaves exactly
+ * as before — including on single-node machines, where binding would only
+ * add syscalls. When enabled on a multi-node Linux host:
+ *
+ *   - the global ThreadPool's workers are pinned round-robin across nodes,
+ *     so the first-touch pages of a chunk land on the node of the worker
+ *     that fills it (streaming chunk writers ARE the consumers — see
+ *     poly::eqTableInto — which is what makes first-touch placement work);
+ *   - each engine::ProofService lane's private pool is pinned wholly to
+ *     one node (lane index modulo node count), so a lane's tables, slab
+ *     pages, and workers stay local to each other.
+ *
+ * Placement never changes any computed value — proof transcripts are
+ * byte-identical with ZKPHIRE_NUMA on, off, or unsupported.
+ */
+#ifndef ZKPHIRE_RT_NUMA_HPP
+#define ZKPHIRE_RT_NUMA_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace zkphire::rt::numa {
+
+/** True when ZKPHIRE_NUMA is set (non-"0") and >= 2 nodes were found. */
+bool enabled();
+
+/** Detected node count (1 when the topology is unreadable). */
+std::size_t numNodes();
+
+/** CPU ids of each node, parsed from /sys/devices/system/node; empty when
+ *  the topology is unreadable (non-Linux, masked sysfs). */
+const std::vector<std::vector<int>> &nodeCpus();
+
+/**
+ * Pin the calling thread to `node`'s CPU set (sched_setaffinity). Returns
+ * false — changing nothing — when NUMA is disabled, the node is unknown,
+ * or the syscall fails; callers never need to check.
+ */
+bool bindCurrentThreadToNode(std::size_t node);
+
+} // namespace zkphire::rt::numa
+
+#endif // ZKPHIRE_RT_NUMA_HPP

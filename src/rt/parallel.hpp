@@ -30,6 +30,8 @@ namespace detail {
 inline thread_local unsigned t_threadOverride = 0;
 inline thread_local std::size_t t_minGrainOverride = 0;
 inline thread_local ThreadPool *t_poolOverride = nullptr;
+inline thread_local std::size_t t_streamThresholdOverride = 0;
+inline thread_local std::size_t t_streamChunkOverride = 0;
 } // namespace detail
 
 /** Pool that parallel regions started by the current thread submit to. */
@@ -48,6 +50,21 @@ currentThreads()
     if (detail::t_threadOverride != 0)
         return detail::t_threadOverride;
     return currentPool().numThreads();
+}
+
+/** Ambient stream-threshold override (0 = unset; poly::currentStorePolicy
+ *  falls back to the ZKPHIRE_STREAM* environment defaults). */
+inline std::size_t
+currentStreamThreshold()
+{
+    return detail::t_streamThresholdOverride;
+}
+
+/** Ambient stream-chunk override (0 = unset, same fallback rule). */
+inline std::size_t
+currentStreamChunk()
+{
+    return detail::t_streamChunkOverride;
 }
 
 /**
@@ -83,17 +100,25 @@ class ScopedConfig
     explicit ScopedConfig(const Config &cfg)
         : threadScope(cfg.threads),
           savedGrain(detail::t_minGrainOverride),
-          savedPool(detail::t_poolOverride)
+          savedPool(detail::t_poolOverride),
+          savedStreamThreshold(detail::t_streamThresholdOverride),
+          savedStreamChunk(detail::t_streamChunkOverride)
     {
         if (cfg.minGrain != 0)
             detail::t_minGrainOverride = cfg.minGrain;
         if (cfg.pool != nullptr)
             detail::t_poolOverride = cfg.pool;
+        if (cfg.streamThreshold != 0)
+            detail::t_streamThresholdOverride = cfg.streamThreshold;
+        if (cfg.streamChunk != 0)
+            detail::t_streamChunkOverride = cfg.streamChunk;
     }
     ~ScopedConfig()
     {
         detail::t_minGrainOverride = savedGrain;
         detail::t_poolOverride = savedPool;
+        detail::t_streamThresholdOverride = savedStreamThreshold;
+        detail::t_streamChunkOverride = savedStreamChunk;
     }
     ScopedConfig(const ScopedConfig &) = delete;
     ScopedConfig &operator=(const ScopedConfig &) = delete;
@@ -102,6 +127,8 @@ class ScopedConfig
     ScopedThreads threadScope;
     std::size_t savedGrain;
     ThreadPool *savedPool;
+    std::size_t savedStreamThreshold;
+    std::size_t savedStreamChunk;
 };
 
 namespace detail {

@@ -176,10 +176,22 @@ roundEvaluationsPlan(const VirtualPoly &vp)
     const poly::GatePlan &plan = vp.plan();
     const std::size_t half = std::size_t(1) << (vp.numVars() - 1);
     const std::size_t acc_len = plan.accSize();
+    // Release consumed windows of mapped tables block by block: the data
+    // survives in the page cache (MAP_SHARED) for this round's fold to
+    // re-fault, while the walk stays O(chunk)-resident. Blocked here, not
+    // per parallel chunk, so a serial run gets the same bound.
+    const std::size_t rel_blk = std::max<std::size_t>(
+        poly::currentStorePolicy().chunkElems / 2, std::size_t(2048));
     std::vector<Fr> acc = accumulatePairs(
         half, acc_len, [&](std::size_t b, std::size_t e, std::vector<Fr> &a) {
             std::vector<Fr> scratch;
-            plan.accumulatePairs(vp.allTables(), b, e, a, scratch);
+            for (std::size_t p0 = b; p0 < e; p0 += rel_blk) {
+                const std::size_t p1 = std::min(e, p0 + rel_blk);
+                plan.accumulatePairs(vp.allTables(), p0, p1, a, scratch);
+                for (const Mle &t : vp.allTables())
+                    if (t.isMapped())
+                        t.store().releaseWindow(2 * p0, 2 * p1);
+            }
         });
     return plan.finalizeRoundEvals(acc);
 }
@@ -214,8 +226,13 @@ prove(VirtualPoly poly, hash::Transcript &tr, const rt::Config &cfg,
     tr.appendU64("sc/num_vars", mu);
     tr.appendU64("sc/degree", degree);
 
+    /** Pair count above which the fused fold+evaluate walk beats separate
+     *  fold and evaluation passes (below it the extra scratch traffic is
+     *  not worth saving one table walk). */
+    constexpr std::size_t kFuseMinPairs = 1u << 12;
+
+    std::vector<Fr> evals = roundEvaluations(poly, degree, path);
     for (unsigned round = 0; round < mu; ++round) {
-        std::vector<Fr> evals = roundEvaluations(poly, degree, path);
         if (round == 0) {
             out.proof.claimedSum = evals[0] + evals[1];
             tr.appendFr("sc/claim", out.proof.claimedSum);
@@ -224,7 +241,29 @@ prove(VirtualPoly poly, hash::Transcript &tr, const rt::Config &cfg,
         Fr r = tr.challengeFr("sc/challenge");
         out.proof.roundEvals.push_back(std::move(evals));
         out.challenges.push_back(r);
-        poly.fixFirstVarInPlace(r);
+        if (round + 1 == mu) {
+            poly.fixFirstVarInPlace(r);
+            continue;
+        }
+        // Fuse this round's fold with the next round's evaluation when the
+        // Plan path is active and the round is not sharded across lanes:
+        // each chunk of the halved table is evaluated in the same walk that
+        // writes it, so a streamed table is touched once per round instead
+        // of twice. Values are bit-identical either way (exact arithmetic,
+        // identical per-index formulas) — this only moves wall-clock and
+        // RSS, never bytes.
+        rt::UnitRunner *runner = rt::currentUnitRunner();
+        const std::size_t next_half = std::size_t(1)
+                                      << (poly.numVars() - 2);
+        const bool sharded = runner != nullptr && runner->width() > 1 &&
+                             next_half >= kShardMinPairs;
+        if (path == EvalPath::Plan && !sharded &&
+            (poly.anyTableMapped() || next_half >= kFuseMinPairs)) {
+            evals = poly.plan().finalizeRoundEvals(poly.foldAndAccumulate(r));
+        } else {
+            poly.fixFirstVarInPlace(r);
+            evals = roundEvaluations(poly, degree, path);
+        }
     }
 
     // After mu folds each table is a single evaluation at the challenge
