@@ -8,6 +8,7 @@
 #include "ec/batch_add.hpp"
 #include "ec/glv.hpp"
 #include "ec/recode.hpp"
+#include "rt/failpoint.hpp"
 #include "rt/parallel.hpp"
 
 namespace zkphire::ec {
@@ -627,6 +628,9 @@ MsmAccumulator::add(std::span<const std::span<const Fr>> cols,
     assert(cols.size() == k && "column count is fixed at construction");
     if (n == 0)
         return;
+    rt::failpoint("msm.accum"); // before any bucket state is touched, so an
+                                // injected throw leaves the accumulator
+                                // observably unmodified
 #ifndef NDEBUG
     for (const auto &col : cols)
         assert(col.size() == n && "column/point length mismatch");

@@ -55,8 +55,9 @@ class LatencyHistogram
  * distributions. Counter invariants:
  *   submitted == accepted + rejectedQueueFull + rejectedDeadline
  *                + rejectedStopping
- *   accepted  == completed + failed + expiredDeadline + queueDepth
- *                + inFlight   (once the service is idle, the last two are 0)
+ *   accepted  == completed + failed + expiredDeadline + cancelled
+ *                + queueDepth + inFlight
+ *                (once the service is idle, the last two are 0)
  */
 struct ServiceMetrics {
     // Admission counters.
@@ -68,7 +69,11 @@ struct ServiceMetrics {
     // Outcome counters.
     std::uint64_t completed = 0;        ///< Resolved ok.
     std::uint64_t failed = 0;           ///< BadRequest or prover error.
-    std::uint64_t expiredDeadline = 0;  ///< Deadline passed while queued.
+    std::uint64_t expiredDeadline = 0;  ///< Deadline passed (queued or mid-proof).
+    std::uint64_t cancelled = 0;        ///< cancel(jobId) resolved the job.
+    // Fault-recovery counters.
+    std::uint64_t retries = 0;          ///< Attempts re-enqueued by RetryPolicy.
+    std::uint64_t degradedRetries = 0;  ///< Retries forced onto streaming.
     // Sharding counters.
     std::uint64_t shardedPhases = 0;    ///< Phases that ran with helpers.
     std::uint64_t shardHelperLanes = 0; ///< Helper-lane reservations, total.

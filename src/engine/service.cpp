@@ -1,6 +1,9 @@
 #include "engine/service.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <new>
+#include <system_error>
 #include <utility>
 
 #include "rt/numa.hpp"
@@ -26,6 +29,21 @@ errorResult(ProofStatus status, std::string error)
     res.status = status;
     res.error = std::move(error);
     return res;
+}
+
+/** The retryable class: environmental resource exhaustion. Everything else
+ *  — logic errors, injected rt::InjectedFault, cancellation — either fails
+ *  deterministically or is handled by its own path. */
+bool
+isResourceError(const std::exception &e)
+{
+    if (dynamic_cast<const std::bad_alloc *>(&e) != nullptr)
+        return true;
+    if (const auto *se = dynamic_cast<const std::system_error *>(&e)) {
+        const int v = se->code().value();
+        return v == ENOMEM || v == ENOSPC || v == EMFILE;
+    }
+    return false;
 }
 
 } // namespace
@@ -95,10 +113,20 @@ ProofService::submit(const ProofRequest &req)
 std::future<ProofResult>
 ProofService::submit(const ProofRequest &req, const SubmitOptions &sub)
 {
+    return submitJob(req, sub).future;
+}
+
+JobHandle
+ProofService::submitJob(const ProofRequest &req, const SubmitOptions &sub)
+{
     auto job = std::make_unique<Job>();
     job->req = req;
     job->sub = sub;
-    std::future<ProofResult> fut = job->done.get_future();
+    job->id = nextJobId.fetch_add(1, std::memory_order_relaxed);
+    job->nextBackoff = sub.retry.backoff;
+    JobHandle handle;
+    handle.id = job->id;
+    handle.future = job->done.get_future();
 
     {
         std::lock_guard<std::mutex> mlk(mMu);
@@ -109,7 +137,7 @@ ProofService::submit(const ProofRequest &req, const SubmitOptions &sub)
         ++m.rejectedDeadline;
         job->done.set_value(errorResult(ProofStatus::DeadlineExpired,
                                         "deadline already expired"));
-        return fut;
+        return handle;
     }
 
     {
@@ -125,7 +153,7 @@ ProofService::submit(const ProofRequest &req, const SubmitOptions &sub)
         };
         if (stopping) {
             rejectStopping();
-            return fut;
+            return handle;
         }
         if (opts.queueCapacity != 0 && setupQueued >= opts.queueCapacity) {
             if (opts.admission == AdmissionPolicy::Reject) {
@@ -133,7 +161,7 @@ ProofService::submit(const ProofRequest &req, const SubmitOptions &sub)
                 ++m.rejectedQueueFull;
                 job->done.set_value(errorResult(
                     ProofStatus::QueueFull, "admission queue at capacity"));
-                return fut;
+                return handle;
             }
             // Block: park until space frees, the service stops, or the
             // job's own deadline passes while waiting at the door.
@@ -148,15 +176,16 @@ ProofService::submit(const ProofRequest &req, const SubmitOptions &sub)
                 job->done.set_value(
                     errorResult(ProofStatus::DeadlineExpired,
                                 "deadline expired while blocked at admission"));
-                return fut;
+                return handle;
             }
             if (stopping) {
                 rejectStopping();
-                return fut;
+                return handle;
             }
         }
         job->seq = nextSeq++;
         job->accepted = job->enqueued = Clock::now();
+        job->counted = true;
         ++setupQueued;
         queue.push_back(std::move(job));
         recallHelpersLocked();
@@ -166,7 +195,48 @@ ProofService::submit(const ProofRequest &req, const SubmitOptions &sub)
         std::lock_guard<std::mutex> mlk(mMu);
         ++m.accepted;
     }
-    return fut;
+    return handle;
+}
+
+bool
+ProofService::cancel(std::uint64_t jobId)
+{
+    std::unique_ptr<Job> victim;
+    {
+        std::lock_guard<std::mutex> lk(qMu);
+        for (auto it = queue.begin(); it != queue.end(); ++it) {
+            if ((*it)->id != jobId)
+                continue;
+            victim = std::move(*it);
+            queue.erase(it);
+            if (victim->counted) {
+                victim->counted = false;
+                --setupQueued;
+                admitCv.notify_one();
+            }
+            break;
+        }
+        if (victim == nullptr) {
+            // Not queued: executing? Flip the shared cancel state through
+            // the slot's copy — the lane observes it at the prover's next
+            // chunk/round boundary. Delivery, not a guarantee: a job at
+            // its last boundary may still resolve Ok.
+            for (LaneSlot &slot : slots) {
+                if (slot.runningId == jobId) {
+                    slot.runningCancel.requestCancel();
+                    return true;
+                }
+            }
+            return false; // unknown id, or already resolved
+        }
+    }
+    {
+        std::lock_guard<std::mutex> mlk(mMu);
+        ++m.inFlight; // finish() releases it
+    }
+    finish(std::move(victim), ProofStatus::Cancelled,
+           "cancelled while queued");
+    return true;
 }
 
 std::vector<ProofResult>
@@ -201,6 +271,9 @@ ProofService::metrics() const
         out.completed = m.completed;
         out.failed = m.failed;
         out.expiredDeadline = m.expiredDeadline;
+        out.cancelled = m.cancelled;
+        out.retries = m.retries;
+        out.degradedRetries = m.degradedRetries;
         out.shardedPhases = m.shardedPhases;
         out.shardHelperLanes = m.shardHelperLanes;
         out.shardRecalls = m.shardRecalls;
@@ -218,12 +291,24 @@ ProofService::metrics() const
 
 /** Best runnable entry: priority desc, deadline asc (EDF), online phase
  *  before setup (finish started proofs first), then admission order.
+ *  Entries inside a retry-backoff window are skipped (their earliest
+ *  eligibility is reported through nextEligible) — except when stopping,
+ *  where backoffs are ignored so the destructor's drain never stalls.
  *  Linear scan — service queues are tens of entries, not thousands. */
 std::unique_ptr<ProofService::Job>
-ProofService::takeBestLocked()
+ProofService::takeBestLocked(Clock::time_point now,
+                             Clock::time_point &nextEligible)
 {
-    auto best = queue.begin();
-    for (auto it = std::next(queue.begin()); it != queue.end(); ++it) {
+    auto best = queue.end();
+    for (auto it = queue.begin(); it != queue.end(); ++it) {
+        if (!stopping && (*it)->notBefore > now) {
+            nextEligible = std::min(nextEligible, (*it)->notBefore);
+            continue;
+        }
+        if (best == queue.end()) {
+            best = it;
+            continue;
+        }
         const Job &a = **it, &b = **best;
         bool better;
         if (a.sub.priority != b.sub.priority)
@@ -237,9 +322,14 @@ ProofService::takeBestLocked()
         if (better)
             best = it;
     }
+    if (best == queue.end())
+        return nullptr;
     std::unique_ptr<Job> job = std::move(*best);
     queue.erase(best);
-    if (job->phase == Phase::Setup) {
+    if (job->counted) {
+        // First pickup of an admitted job releases its capacity unit;
+        // online-phase and retry re-enqueues never held one.
+        job->counted = false;
         --setupQueued;
         admitCv.notify_one(); // one blocked submitter may now fit
     }
@@ -291,6 +381,9 @@ ProofService::finish(std::unique_ptr<Job> job, ProofStatus status,
         case ProofStatus::DeadlineExpired:
             ++m.expiredDeadline;
             break;
+        case ProofStatus::Cancelled:
+            ++m.cancelled;
+            break;
         case ProofStatus::ServiceStopping:
             ++m.rejectedStopping;
             break;
@@ -302,6 +395,32 @@ ProofService::finish(std::unique_ptr<Job> job, ProofStatus status,
     job->done.set_value(std::move(res));
 }
 
+/** Rewrite job for its next attempt. Every per-attempt field is rebuilt —
+ *  phase back to Setup, parked setup state dropped, result accumulator
+ *  cleared — so the retry replays the whole two-phase lifecycle from
+ *  scratch and its transcript is byte-identical to a fresh submission. */
+void
+ProofService::prepareRetry(Job &job)
+{
+    ++job.attempt;
+    job.phase = Phase::Setup;
+    job.setup.reset();
+    job.res = ProofResult{};
+    job.notBefore = Clock::now() + job.nextBackoff;
+    job.nextBackoff = std::min(
+        job.sub.retry.maxBackoff,
+        std::chrono::milliseconds(std::chrono::milliseconds::rep(
+            double(job.nextBackoff.count()) * job.sub.retry.backoffFactor)));
+    {
+        std::lock_guard<std::mutex> mlk(mMu);
+        ++m.retries;
+        if (job.sub.retry.degradeToStreaming) {
+            job.degraded = true;
+            ++m.degradedRetries;
+        }
+    }
+}
+
 std::unique_ptr<ProofService::Job>
 ProofService::runPhase(unsigned lane, std::unique_ptr<Job> job,
                        ShardGroup *group, unsigned groupWidth)
@@ -311,8 +430,17 @@ ProofService::runPhase(unsigned lane, std::unique_ptr<Job> job,
                "ProofRequest missing proving key or circuit");
         return nullptr;
     }
-    const rt::Config laneCfg = laneConfig(lane);
-    const hyperplonk::ProveOptions popts = ctx.proveOptions(&laneCfg, group);
+    rt::Config laneCfg = laneConfig(lane);
+    if (job->degraded) {
+        // Degraded retry: force every prover table onto the out-of-core
+        // streaming backend so a resource-starved attempt runs in O(chunk)
+        // RSS. Transcript-invariant — the proof bytes do not change.
+        laneCfg.streamThreshold = 1;
+    }
+    hyperplonk::ProveOptions popts = ctx.proveOptions(&laneCfg, group);
+    if (job->sub.deadline != Clock::time_point::max())
+        job->cancel.setDeadline(job->sub.deadline);
+    popts.cancel = job->cancel.token();
     job->res.shardLanes = std::max(job->res.shardLanes, groupWidth);
     const Clock::time_point t0 = Clock::now();
     try {
@@ -336,7 +464,22 @@ ProofService::runPhase(unsigned lane, std::unique_ptr<Job> job,
         if (job->req.stats != nullptr)
             *job->req.stats = job->res.stats;
         finish(std::move(job), ProofStatus::Ok, {});
+    } catch (const rt::OperationCancelled &e) {
+        finish(std::move(job),
+               e.reason() == rt::CancelReason::Deadline
+                   ? ProofStatus::DeadlineExpired
+                   : ProofStatus::Cancelled,
+               e.what());
     } catch (const std::exception &e) {
+        // Resource-class failures retry (with degradation) while attempts
+        // remain — unless the job was cancelled in the same window, which
+        // would make a retry run work nobody wants.
+        if (isResourceError(e) &&
+            job->attempt < job->sub.retry.maxAttempts &&
+            job->cancel.reason() == rt::CancelReason::None) {
+            prepareRetry(*job);
+            return job; // re-enqueue; eligible after its backoff
+        }
         finish(std::move(job), ProofStatus::ProverError, e.what());
     } catch (...) {
         finish(std::move(job), ProofStatus::ProverError,
@@ -373,10 +516,30 @@ ProofService::laneLoop(unsigned lane)
             std::unique_lock<std::mutex> lk(qMu);
             slots[lane].idle = true;
             ++idleLanes;
-            qCv.wait(lk, [&] {
-                return slots[lane].joinGroup != nullptr || stopping ||
-                       !queue.empty();
-            });
+            for (;;) {
+                qCv.wait(lk, [&] {
+                    return slots[lane].joinGroup != nullptr || stopping ||
+                           !queue.empty();
+                });
+                if (slots[lane].joinGroup != nullptr || queue.empty())
+                    break;
+                Clock::time_point nextEligible = Clock::time_point::max();
+                job = takeBestLocked(Clock::now(), nextEligible);
+                if (job != nullptr)
+                    break;
+                // Every queued entry is waiting out a retry backoff: sleep
+                // until the earliest becomes eligible, a new (eligible)
+                // job arrives, a reservation lands, or shutdown starts.
+                qCv.wait_until(lk, nextEligible, [&] {
+                    if (slots[lane].joinGroup != nullptr || stopping)
+                        return true;
+                    const Clock::time_point now = Clock::now();
+                    for (const std::unique_ptr<Job> &q : queue)
+                        if (q->notBefore <= now)
+                            return true;
+                    return false;
+                });
+            }
             if (slots[lane].joinGroup != nullptr) {
                 // A dispatching lane reserved this one as a shard helper
                 // (it already cleared idle and took us out of idleLanes).
@@ -384,9 +547,8 @@ ProofService::laneLoop(unsigned lane)
             } else {
                 slots[lane].idle = false;
                 --idleLanes;
-                if (queue.empty())
+                if (job == nullptr)
                     return; // stopping, and every queued job drained
-                job = takeBestLocked();
                 if (Clock::now() > job->sub.deadline) {
                     lk.unlock();
                     {
@@ -423,6 +585,11 @@ ProofService::laneLoop(unsigned lane)
                     if (helpers > 0)
                         activeGroups.push_back(&group);
                 }
+                // Publish the executing job on the slot so cancel() can
+                // reach its shared cancel state while the Job object is in
+                // this lane's hands.
+                slots[lane].runningId = job->id;
+                slots[lane].runningCancel = job->cancel;
             }
         }
         if (joined != nullptr) {
@@ -442,27 +609,34 @@ ProofService::laneLoop(unsigned lane)
         }
         std::unique_ptr<Job> back = runPhase(
             lane, std::move(job), helpers > 0 ? &group : nullptr, 1 + helpers);
-        if (helpers > 0) {
-            std::lock_guard<std::mutex> lk(qMu);
-            activeGroups.erase(std::find(activeGroups.begin(),
-                                         activeGroups.end(), &group));
-        }
-        group.disband();
-        if (back != nullptr) {
-            // Setup done, not resolved: back to the queue for the online
-            // phase (finish() releases inFlight on the terminal paths).
+        const bool requeued = back != nullptr;
+        if (requeued) {
+            // Setup done or a retry scheduled, not resolved: back to the
+            // queue (finish() releases inFlight on the terminal paths).
             {
                 std::lock_guard<std::mutex> mlk(mMu);
                 --m.inFlight;
             }
             back->enqueued = Clock::now();
-            {
-                std::lock_guard<std::mutex> lk(qMu);
+        }
+        {
+            // One critical section for slot teardown AND the re-enqueue,
+            // so cancel() never observes the job in neither place: it is
+            // on the slot until this block, in the queue after it.
+            std::lock_guard<std::mutex> lk(qMu);
+            slots[lane].runningId = 0;
+            slots[lane].runningCancel = rt::CancelSource{};
+            if (helpers > 0)
+                activeGroups.erase(std::find(activeGroups.begin(),
+                                             activeGroups.end(), &group));
+            if (requeued) {
                 queue.push_back(std::move(back));
                 recallHelpersLocked();
             }
-            qCv.notify_one();
         }
+        group.disband();
+        if (requeued)
+            qCv.notify_one();
     }
 }
 

@@ -54,8 +54,10 @@
 #ifndef ZKPHIRE_ENGINE_SERVICE_HPP
 #define ZKPHIRE_ENGINE_SERVICE_HPP
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
@@ -67,6 +69,7 @@
 #include "engine/context.hpp"
 #include "engine/metrics.hpp"
 #include "engine/shard.hpp"
+#include "rt/cancel.hpp"
 
 namespace zkphire::engine {
 
@@ -84,9 +87,10 @@ enum class ProofStatus {
     Ok,              ///< Proof produced.
     BadRequest,      ///< Missing proving key or circuit.
     QueueFull,       ///< Rejected at admission (Reject policy, queue full).
-    DeadlineExpired, ///< Deadline passed before a lane could run the job.
+    DeadlineExpired, ///< Deadline passed while queued or mid-proof.
     ServiceStopping, ///< Submitted against a stopping/destroyed service.
     ProverError,     ///< The prover threw; error carries the message.
+    Cancelled,       ///< cancel(jobId) landed before the proof finished.
 };
 
 struct ProofResult {
@@ -99,23 +103,60 @@ struct ProofResult {
     unsigned shardLanes = 1;
 };
 
+/**
+ * What to do when a prover stage fails with a RESOURCE error — bad_alloc,
+ * or a system_error carrying ENOMEM/ENOSPC/EMFILE. Only those retry: they
+ * are environmental and a later (or degraded) attempt can succeed, whereas
+ * a logic error (anything else the prover throws, including an injected
+ * rt::InjectedFault) would fail identically every time and resolves
+ * ProverError on the first attempt.
+ */
+struct RetryPolicy {
+    /** Total attempts, first included. 1 (default) = never retry. */
+    unsigned maxAttempts = 1;
+    /** Delay before attempt 2; later attempts multiply by backoffFactor,
+     *  capped at maxBackoff. The job waits out its backoff in the queue
+     *  (lanes skip it), so a backoff never blocks a lane. */
+    std::chrono::milliseconds backoff{5};
+    double backoffFactor = 2.0;
+    std::chrono::milliseconds maxBackoff{1000};
+    /** Re-run failed attempts with rt::Config::streamThreshold = 1, forcing
+     *  every prover table onto the out-of-core mmap-slab backend: peak RSS
+     *  drops to O(chunk), which is exactly what an ENOMEM/ENOSPC failure
+     *  calls for. Streaming is transcript-invariant, so a degraded retry's
+     *  proof is byte-identical to a fault-free run. */
+    bool degradeToStreaming = true;
+};
+
 /** Per-submission scheduling attributes. */
 struct SubmitOptions {
     /** Higher runs earlier. Default 0. */
     int priority = 0;
-    /** Absolute deadline; jobs still queued past it resolve with
-     *  DeadlineExpired (a job already executing is not aborted — expiry is
-     *  checked when a lane picks a phase up). Default: none. */
+    /** Absolute deadline. Jobs still queued past it resolve with
+     *  DeadlineExpired; a job already executing observes it through its
+     *  cancel token and aborts at the next chunk/round boundary. Default:
+     *  none. */
     std::chrono::steady_clock::time_point deadline =
         std::chrono::steady_clock::time_point::max();
+    /** Recovery policy for resource-class prover failures. */
+    RetryPolicy retry;
 
     /** Convenience: a deadline dur from now. */
     template <class Rep, class Period>
     static SubmitOptions
     deadlineIn(std::chrono::duration<Rep, Period> dur, int priority = 0)
     {
-        return {priority, std::chrono::steady_clock::now() + dur};
+        SubmitOptions sub;
+        sub.priority = priority;
+        sub.deadline = std::chrono::steady_clock::now() + dur;
+        return sub;
     }
+};
+
+/** A submission's identity + result: the id addresses cancel(). */
+struct JobHandle {
+    std::uint64_t id = 0;
+    std::future<ProofResult> future;
 };
 
 /** What submit() does when the queue is at capacity. */
@@ -175,6 +216,23 @@ class ProofService
     std::future<ProofResult> submit(const ProofRequest &req);
     std::future<ProofResult> submit(const ProofRequest &req,
                                     const SubmitOptions &sub);
+    /** Like submit(), but also returns the job id cancel() addresses. Every
+     *  submission gets an id, including ones rejected at admission (their
+     *  futures are already resolved, so cancel() on them returns false). */
+    JobHandle submitJob(const ProofRequest &req,
+                        const SubmitOptions &sub = SubmitOptions{});
+
+    /**
+     * Cancel one job. Still queued (including between its setup and online
+     * phases, or waiting out a retry backoff): it leaves the queue and its
+     * future resolves ProofStatus::Cancelled immediately. Executing: the
+     * request is delivered through the job's cancel token and the prover
+     * aborts at its next chunk/round boundary — cooperative, so a job
+     * right before completion may still resolve Ok. Returns true when the
+     * job was found (queued or running), false when the id is unknown or
+     * the job already resolved.
+     */
+    bool cancel(std::uint64_t jobId);
 
     /** Submit a batch and wait for all of it; results in request order. */
     std::vector<ProofResult> proveAll(const std::vector<ProofRequest> &reqs);
@@ -190,11 +248,22 @@ class ProofService
         SubmitOptions sub;
         std::promise<ProofResult> done;
         Phase phase = Phase::Setup;
+        std::uint64_t id = 0;  ///< cancel() address; assigned at submit.
         std::uint64_t seq = 0; ///< Admission order, the final tiebreak.
         std::chrono::steady_clock::time_point accepted;
         std::chrono::steady_clock::time_point enqueued; ///< Current phase.
         std::optional<hyperplonk::SetupState> setup;
         ProofResult res; ///< Accumulates stats/shardLanes across phases.
+        /** Shared cancellation state; the executing lane publishes a copy
+         *  on its slot so cancel() can reach a running job. */
+        rt::CancelSource cancel;
+        unsigned attempt = 1;  ///< 1-based; compared against maxAttempts.
+        bool degraded = false; ///< Retry runs with forced streaming.
+        bool counted = false;  ///< Holds one admission-capacity unit.
+        /** Retry backoff: ineligible for pickup before this instant. */
+        std::chrono::steady_clock::time_point notBefore =
+            std::chrono::steady_clock::time_point::min();
+        std::chrono::milliseconds nextBackoff{0};
     };
 
     /** Per-lane scheduler state (guarded by qMu). */
@@ -202,14 +271,28 @@ class ProofService
         bool idle = false;
         rt::ThreadPool *pool = nullptr;   ///< Set once by the lane thread.
         ShardGroup *joinGroup = nullptr;  ///< Reservation as a helper.
+        std::uint64_t runningId = 0;      ///< Executing job (0 = none).
+        /** Copy sharing the executing job's cancel state: cancel() flips
+         *  it without touching the Job, whose lifetime belongs to the
+         *  lane. Reset to a fresh (unshared) source between jobs. */
+        rt::CancelSource runningCancel;
     };
 
     void laneLoop(unsigned lane);
     /** Run one phase of job outside qMu; returns the job back for
-     *  re-enqueue when it finished setup, null when it resolved. */
+     *  re-enqueue when it finished setup or scheduled a retry, null when
+     *  it resolved. */
     std::unique_ptr<Job> runPhase(unsigned lane, std::unique_ptr<Job> job,
                                   ShardGroup *group, unsigned groupWidth);
-    std::unique_ptr<Job> takeBestLocked();
+    /** Best ELIGIBLE entry (retry backoffs skipped unless stopping); null
+     *  when every entry is backing off — then nextEligible holds the
+     *  earliest instant one becomes runnable. */
+    std::unique_ptr<Job>
+    takeBestLocked(std::chrono::steady_clock::time_point now,
+                   std::chrono::steady_clock::time_point &nextEligible);
+    /** Rewrite job in place for its next attempt (phase reset, backoff
+     *  advanced, degradation applied); caller re-enqueues. */
+    void prepareRetry(Job &job);
     /** New work arrived: pull every live shard helper back to its lane
      *  (qMu held — idle lanes are only borrowed while actually idle). */
     void recallHelpersLocked();
@@ -233,6 +316,7 @@ class ProofService
     unsigned idleLanes = 0;
     std::uint64_t nextSeq = 0;
     bool stopping = false;
+    std::atomic<std::uint64_t> nextJobId{1}; ///< 0 stays "no job".
 
     /** Counter/histogram state behind metrics(). Lock order: mMu is a leaf
      *  — it may be taken while holding qMu, never the other way around. */
@@ -241,6 +325,8 @@ class ProofService
         std::uint64_t rejectedQueueFull = 0, rejectedDeadline = 0,
                       rejectedStopping = 0;
         std::uint64_t completed = 0, failed = 0, expiredDeadline = 0;
+        std::uint64_t cancelled = 0;
+        std::uint64_t retries = 0, degradedRetries = 0;
         std::uint64_t shardedPhases = 0, shardHelperLanes = 0,
                       shardRecalls = 0;
         std::size_t inFlight = 0;

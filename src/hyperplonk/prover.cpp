@@ -130,6 +130,8 @@ proveSetup(const ProvingKey &pk, const Circuit &circuit, ProverStats *stats,
     ec::ScopedMsmOptions msm_scope(opts.msm);
     rt::ScopedUnitRunner unit_scope(opts.units);
     poly::ScopedArena arena_scope(opts.arena);
+    rt::ScopedCancel cancel_scope(opts.cancel);
+    rt::checkCancel();
     assert(circuit.system() == pk.sys);
     assert(circuit.numRows() == (std::size_t(1) << pk.mu));
 
@@ -175,6 +177,8 @@ proveOnline(const ProvingKey &pk, SetupState setup_state, ProverStats *stats,
     ec::ScopedMsmOptions msm_scope(opts.msm);
     rt::ScopedUnitRunner unit_scope(opts.units);
     poly::ScopedArena arena_scope(opts.arena);
+    rt::ScopedCancel cancel_scope(opts.cancel);
+    rt::checkCancel();
 
     HyperPlonkProof proof = std::move(setup_state.proof);
     hash::Transcript tr = std::move(setup_state.tr);
@@ -206,6 +210,7 @@ proveOnline(const ProvingKey &pk, SetupState setup_state, ProverStats *stats,
     st.gateIdentityMs = msSince(t0);
 
     // ---- Step 3: Wire Identity Check ---------------------------------
+    rt::checkCancel();
     t0 = Clock::now();
     Fr beta = tr.challengeFr("beta");
     Fr gamma = tr.challengeFr("gamma");
@@ -240,6 +245,7 @@ proveOnline(const ProvingKey &pk, SetupState setup_state, ProverStats *stats,
     st.wireIdentityMs = msSince(t0);
 
     // ---- Step 4: Batch Evaluations (OpenChecks) ----------------------
+    rt::checkCancel();
     t0 = Clock::now();
     // Auxiliary claimed evaluations at z_p, absorbed before eta is drawn.
     // Each column's pair of evaluations is an independent unit: sharded,
@@ -297,6 +303,7 @@ proveOnline(const ProvingKey &pk, SetupState setup_state, ProverStats *stats,
     st.batchEvalMs = msSince(t0);
 
     // ---- Step 5: Polynomial Opening -----------------------------------
+    rt::checkCancel();
     t0 = Clock::now();
     Fr rho = tr.challengeFr("rho_a");
     std::vector<Mle> polys_a;

@@ -21,6 +21,7 @@
 #include "hyperplonk/permutation.hpp"
 #include "hyperplonk/proof.hpp"
 #include "pcs/mkzg.hpp"
+#include "rt/cancel.hpp"
 #include "rt/config.hpp"
 #include "rt/unit_runner.hpp"
 
@@ -102,6 +103,13 @@ struct ProveOptions {
      *  the ambient installation (none outside an engine context). The
      *  transcript never depends on where a buffer came from. */
     poly::BufferArena *arena = nullptr;
+    /** Cooperative cancellation token, observed (via rt::ScopedCancel) at
+     *  sumcheck round and streamed-commit chunk boundaries and between
+     *  prover steps. A cancelled token makes the prover throw
+     *  rt::OperationCancelled at the next boundary; a default token never
+     *  cancels. Cancellation aborts, it never corrupts: unwinding runs the
+     *  same RAII cleanup as an error path. */
+    rt::CancelToken cancel;
 };
 
 /**

@@ -5,6 +5,8 @@
 #include <future>
 
 #include "ff/vec_ops.hpp"
+#include "rt/cancel.hpp"
+#include "rt/failpoint.hpp"
 #include "rt/parallel.hpp"
 
 namespace zkphire::pcs {
@@ -51,6 +53,7 @@ msmStreamTables(std::span<const Mle *const> polys,
         p->store().adviseSequential();
     std::vector<std::span<const Fr>> cols(m);
     for (std::size_t b = 0; b < n; b += chunk) {
+        rt::checkCancel(); // chunk boundary: accumulator state is consistent
         const std::size_t e = std::min(n, b + chunk);
         for (std::size_t i = 0; i < m; ++i)
             cols[i] = polys[i]->evals().subspan(b, e - b);
@@ -115,12 +118,17 @@ commitBatchStreamed(const Srs &srs, unsigned mu,
                                                   std::size_t b,
                                                   std::size_t e) {
         rt::ScopedConfig scope(snap);
+        rt::failpoint("chunk.producer");
         for (std::size_t i = 0; i < m; ++i)
             produce[i](b, e, buf.data() + i * chunk);
     };
     fill(bufA, 0, std::min(n, chunk));
     std::vector<std::span<const Fr>> cols(m);
     for (std::size_t b = 0; b < n; b += chunk) {
+        // Chunk boundary. A throw here (or out of acc.add below) is safe
+        // even with the prefetch in flight: next's destructor joins the
+        // async task, so bufB never outlives its writer.
+        rt::checkCancel();
         const std::size_t e = std::min(n, b + chunk);
         std::future<void> next;
         if (e < n)

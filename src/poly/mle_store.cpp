@@ -2,14 +2,17 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <new>
 #include <string>
 
+#include "rt/failpoint.hpp"
 #include "rt/parallel.hpp"
 
 #ifdef __linux__
+#include <cerrno>
 #include <fcntl.h>
 #include <sys/mman.h>
 #include <unistd.h>
@@ -86,6 +89,40 @@ pageRound(std::size_t bytes)
 {
     const std::size_t ps = pageSize();
     return (bytes + ps - 1) / ps * ps;
+}
+
+/** posix_fallocate with EINTR retry (it reports errors as a return value,
+ *  not errno) plus the ftruncate fallback for filesystems without extent
+ *  support, also EINTR-retried. 0 on success, else the failing errno. */
+int
+reserveExtent(int fd, off_t bytes)
+{
+    int r;
+    do {
+        r = ::posix_fallocate(fd, 0, bytes);
+    } while (r == EINTR);
+    if (r == 0)
+        return 0;
+    int t;
+    do {
+        t = ::ftruncate(fd, bytes);
+    } while (t == -1 && errno == EINTR);
+    return t == 0 ? 0 : (errno != 0 ? errno : r);
+}
+
+/** One process-wide warning the first time slab allocation degrades to the
+ *  Ram backend: silent fallback is correct (values are backend-independent)
+ *  but an operator watching RSS deserves to know streaming is off. */
+void
+warnSlabFallbackOnce(const char *what, int err)
+{
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed))
+        std::fprintf(stderr,
+                     "zkphire: %s failed (errno %d); falling back to the "
+                     "in-RAM table backend (data is unaffected; RSS bounds "
+                     "are not)\n",
+                     what, err);
 }
 #endif
 
@@ -207,34 +244,45 @@ void
 FrTable::allocMapped(std::size_t n)
 {
 #ifdef __linux__
-    std::string tmpl = std::string(streamDir()) + "/zkphire-slab-XXXXXX";
-    int fd = ::mkstemp(tmpl.data());
-    if (fd >= 0) {
-        ::unlink(tmpl.c_str());
-        const std::size_t bytes =
-            pageRound(std::max<std::size_t>(n, 1) * sizeof(Fr));
-        // Preallocate extents: with a hole-only file (ftruncate) every
-        // first-touch write fault does filesystem block allocation +
-        // journaling, ~100x slower than an anonymous-page fault.
-        // posix_fallocate moves that cost to one syscall here; ftruncate
-        // stays as the fallback for filesystems without extent support.
-        if (::posix_fallocate(fd, 0, off_t(bytes)) == 0 ||
-            ::ftruncate(fd, off_t(bytes)) == 0) {
-            void *m = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
-                             MAP_SHARED, fd, 0);
-            if (m != MAP_FAILED) {
-                map_ = m;
-                mapBytes_ = bytes;
-                fd_ = fd;
-                ptr_ = static_cast<Fr *>(m);
-                size_ = n;
-                g_mappedAllocs.fetch_add(1, std::memory_order_relaxed);
-                g_mappedBytes.fetch_add(bytes, std::memory_order_relaxed);
-                return;
+    // slab.create simulates the syscall-level failures this path can hit
+    // in production: ENOSPC/EMFILE from mkstemp or the extent reservation.
+    int err = rt::failpointErrno("slab.create");
+    if (err == 0 || err == EINTR) {
+        std::string tmpl = std::string(streamDir()) + "/zkphire-slab-XXXXXX";
+        const int fd = ::mkstemp(tmpl.data());
+        if (fd >= 0) {
+            ::unlink(tmpl.c_str());
+            const std::size_t bytes =
+                pageRound(std::max<std::size_t>(n, 1) * sizeof(Fr));
+            // Preallocate extents: with a hole-only file (ftruncate) every
+            // first-touch write fault does filesystem block allocation +
+            // journaling, ~100x slower than an anonymous-page fault.
+            // posix_fallocate moves that cost to one syscall here;
+            // ftruncate stays as the fallback for filesystems without
+            // extent support. Both are EINTR-retried inside reserveExtent.
+            err = reserveExtent(fd, off_t(bytes));
+            if (err == 0) {
+                void *m = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                                 MAP_SHARED, fd, 0);
+                if (m != MAP_FAILED) {
+                    map_ = m;
+                    mapBytes_ = bytes;
+                    fd_ = fd;
+                    ptr_ = static_cast<Fr *>(m);
+                    size_ = n;
+                    g_mappedAllocs.fetch_add(1, std::memory_order_relaxed);
+                    g_mappedBytes.fetch_add(bytes,
+                                            std::memory_order_relaxed);
+                    return;
+                }
+                err = errno;
             }
+            ::close(fd);
+        } else {
+            err = errno;
         }
-        ::close(fd);
     }
+    warnSlabFallbackOnce("slab creation", err);
 #endif
     // No usable slab directory (or non-Linux): fall back to RAM. Values are
     // backend-independent, so this only costs memory, never correctness.
@@ -250,16 +298,38 @@ FrTable::growMapped(std::size_t n)
 {
 #ifdef __linux__
     const std::size_t bytes = pageRound(n * sizeof(Fr));
-    if (::posix_fallocate(fd_, 0, off_t(bytes)) != 0 &&
-        ::ftruncate(fd_, off_t(bytes)) != 0)
-        throw std::bad_alloc();
-    void *m = ::mremap(map_, mapBytes_, bytes, MREMAP_MAYMOVE);
-    if (m == MAP_FAILED)
-        throw std::bad_alloc();
-    map_ = m;
-    mapBytes_ = bytes;
-    ptr_ = static_cast<Fr *>(m);
-    g_mappedBytes.fetch_add(bytes, std::memory_order_relaxed);
+    int err = rt::failpointErrno("slab.grow");
+    if (err == 0 || err == EINTR) {
+        err = reserveExtent(fd_, off_t(bytes));
+        if (err == 0) {
+            void *m = ::mremap(map_, mapBytes_, bytes, MREMAP_MAYMOVE);
+            if (m != MAP_FAILED) {
+                map_ = m;
+                mapBytes_ = bytes;
+                ptr_ = static_cast<Fr *>(m);
+                g_mappedBytes.fetch_add(bytes, std::memory_order_relaxed);
+                return;
+            }
+            err = errno;
+        }
+    }
+    // The slab cannot grow (disk full, mremap address-space failure):
+    // migrate the live prefix to the Ram backend instead of poisoning the
+    // proof mid-flight. The vector is built BEFORE the map is torn down, so
+    // an allocation failure here propagates with the table intact.
+    warnSlabFallbackOnce("slab growth", err);
+    std::vector<Fr> moved(n, Fr::zero());
+    if (size_ != 0)
+        std::memcpy(moved.data(), ptr_, size_ * sizeof(Fr));
+    ::munmap(map_, mapBytes_);
+    ::close(fd_);
+    map_ = nullptr;
+    mapBytes_ = 0;
+    fd_ = -1;
+    vec_ = std::move(moved);
+    ptr_ = vec_.data();
+    g_ramAllocs.fetch_add(1, std::memory_order_relaxed);
+    g_ramBytes.fetch_add(n * sizeof(Fr), std::memory_order_relaxed);
 #else
     (void)n;
 #endif

@@ -1,0 +1,312 @@
+#include "rt/failpoint.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <new>
+#include <random>
+#include <system_error>
+#include <thread>
+
+namespace zkphire::rt {
+
+namespace {
+
+struct ArmedSpec {
+    FailSpec spec;
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+    std::mt19937_64 rng;
+};
+
+/** fpMu is a leaf lock (see tools/lint/zkphire_lint.json): nothing is ever
+ *  acquired while holding it, and injection sites are coarse (per chunk /
+ *  round / syscall), so a plain mutex around the registry is cheap enough. */
+std::mutex fpMu;
+std::map<std::string, ArmedSpec> &
+registry()
+{
+    static std::map<std::string, ArmedSpec> r;
+    return r;
+}
+
+std::once_flag envOnce;
+
+void
+refreshArmedCountLocked()
+{
+    detail::g_armedFailpoints.store(
+        std::uint32_t(registry().size()), std::memory_order_relaxed);
+}
+
+/** Parse one `site=kind[:opt=..]*` entry; false on malformed input. */
+bool
+parseEntry(const std::string &entry, std::string &site, FailSpec &spec)
+{
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0)
+        return false;
+    site = entry.substr(0, eq);
+    std::string rest = entry.substr(eq + 1);
+
+    std::size_t pos = 0;
+    bool first = true;
+    spec = FailSpec{};
+    while (pos <= rest.size()) {
+        const std::size_t colon = rest.find(':', pos);
+        const std::string tok = rest.substr(
+            pos, colon == std::string::npos ? std::string::npos : colon - pos);
+        pos = colon == std::string::npos ? rest.size() + 1 : colon + 1;
+        if (tok.empty())
+            continue;
+        if (first) {
+            first = false;
+            if (tok == "throw")
+                spec.kind = FailKind::Throw;
+            else if (tok == "enomem")
+                spec.kind = FailKind::Enomem;
+            else if (tok == "enospc")
+                spec.kind = FailKind::Enospc;
+            else if (tok == "emfile")
+                spec.kind = FailKind::Emfile;
+            else if (tok == "eintr")
+                spec.kind = FailKind::Eintr;
+            else if (tok == "sleep")
+                spec.kind = FailKind::Sleep;
+            else
+                return false;
+            continue;
+        }
+        const std::size_t keq = tok.find('=');
+        if (keq == std::string::npos)
+            return false;
+        const std::string key = tok.substr(0, keq);
+        const std::string val = tok.substr(keq + 1);
+        char *end = nullptr;
+        if (key == "p") {
+            spec.p = std::strtod(val.c_str(), &end);
+            if (end == val.c_str() || spec.p < 0.0 || spec.p > 1.0)
+                return false;
+        } else if (key == "nth") {
+            spec.nth = std::strtoull(val.c_str(), &end, 10);
+            if (end == val.c_str())
+                return false;
+        } else if (key == "count") {
+            spec.maxFires = std::strtoull(val.c_str(), &end, 10);
+            if (end == val.c_str())
+                return false;
+        } else if (key == "seed") {
+            spec.seed = std::strtoull(val.c_str(), &end, 10);
+            if (end == val.c_str())
+                return false;
+        } else if (key == "ms") {
+            spec.sleepMs = std::strtoull(val.c_str(), &end, 10);
+            if (end == val.c_str())
+                return false;
+        } else {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::size_t
+applyScheduleLocked(const std::string &schedule)
+{
+    std::size_t applied = 0;
+    std::size_t pos = 0;
+    while (pos <= schedule.size()) {
+        const std::size_t semi = schedule.find(';', pos);
+        const std::string entry = schedule.substr(
+            pos, semi == std::string::npos ? std::string::npos : semi - pos);
+        pos = semi == std::string::npos ? schedule.size() + 1 : semi + 1;
+        if (entry.empty())
+            continue;
+        std::string site;
+        FailSpec spec;
+        if (!parseEntry(entry, site, spec))
+            continue;
+        ArmedSpec armed;
+        armed.spec = spec;
+        armed.rng.seed(spec.seed);
+        registry()[site] = std::move(armed);
+        ++applied;
+    }
+    refreshArmedCountLocked();
+    return applied;
+}
+
+std::size_t
+loadEnvLocked()
+{
+    const char *env = std::getenv("ZKPHIRE_FAILPOINTS");
+    if (env == nullptr || *env == '\0') {
+        refreshArmedCountLocked();
+        return 0;
+    }
+    return applyScheduleLocked(env);
+}
+
+/** First-use hook: the armed counter starts at 1 so the very first site
+ *  hit takes the slow path and loads ZKPHIRE_FAILPOINTS; the count is then
+ *  corrected to the real armed-spec count (0 when the env is unset). */
+void
+ensureEnvLoaded()
+{
+    std::call_once(envOnce, [] {
+        std::lock_guard<std::mutex> lk(fpMu);
+        loadEnvLocked();
+    });
+}
+
+[[noreturn]] void
+throwForKind(FailKind kind, const char *site)
+{
+    switch (kind) {
+    case FailKind::Enomem:
+        throw std::bad_alloc();
+    case FailKind::Enospc:
+        throw std::system_error(
+            ENOSPC, std::generic_category(),
+            std::string("injected ENOSPC at failpoint '") + site + "'");
+    case FailKind::Emfile:
+        throw std::system_error(
+            EMFILE, std::generic_category(),
+            std::string("injected EMFILE at failpoint '") + site + "'");
+    default:
+        throw InjectedFault(site);
+    }
+}
+
+int
+errnoForKind(FailKind kind)
+{
+    switch (kind) {
+    case FailKind::Enomem:
+        return ENOMEM;
+    case FailKind::Enospc:
+        return ENOSPC;
+    case FailKind::Emfile:
+        return EMFILE;
+    case FailKind::Eintr:
+        return EINTR;
+    default:
+        return EIO;
+    }
+}
+
+} // namespace
+
+namespace detail {
+
+std::atomic<std::uint32_t> g_armedFailpoints{1};
+
+int
+failpointHit(const char *site, bool throwSite)
+{
+    ensureEnvLoaded();
+    FailKind kind{};
+    std::uint64_t sleepMs = 0;
+    {
+        std::lock_guard<std::mutex> lk(fpMu);
+        auto it = registry().find(site);
+        if (it == registry().end())
+            return 0;
+        ArmedSpec &armed = it->second;
+        ++armed.hits;
+        const FailSpec &spec = armed.spec;
+        if (armed.fires >= spec.maxFires)
+            return 0;
+        if (spec.nth != 0) {
+            if (armed.hits != spec.nth)
+                return 0;
+        } else if (spec.p < 1.0) {
+            const double draw =
+                std::uniform_real_distribution<double>(0.0, 1.0)(armed.rng);
+            if (draw >= spec.p)
+                return 0;
+        }
+        ++armed.fires;
+        kind = spec.kind;
+        sleepMs = spec.sleepMs;
+    }
+    if (kind == FailKind::Sleep) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(sleepMs));
+        return 0;
+    }
+    if (!throwSite)
+        return errnoForKind(kind);
+    if (kind == FailKind::Eintr)
+        return 0; // EINTR only makes sense at a syscall wrapper
+    throwForKind(kind, site);
+}
+
+} // namespace detail
+
+void
+setFailpoint(const std::string &site, const FailSpec &spec)
+{
+    ensureEnvLoaded();
+    std::lock_guard<std::mutex> lk(fpMu);
+    ArmedSpec armed;
+    armed.spec = spec;
+    armed.rng.seed(spec.seed);
+    registry()[site] = std::move(armed);
+    refreshArmedCountLocked();
+}
+
+void
+clearFailpoint(const std::string &site)
+{
+    ensureEnvLoaded();
+    std::lock_guard<std::mutex> lk(fpMu);
+    registry().erase(site);
+    refreshArmedCountLocked();
+}
+
+void
+clearFailpoints()
+{
+    ensureEnvLoaded();
+    std::lock_guard<std::mutex> lk(fpMu);
+    registry().clear();
+    refreshArmedCountLocked();
+}
+
+std::size_t
+setFailpointsFromSpec(const std::string &schedule)
+{
+    ensureEnvLoaded();
+    std::lock_guard<std::mutex> lk(fpMu);
+    return applyScheduleLocked(schedule);
+}
+
+std::size_t
+loadFailpointsFromEnv()
+{
+    ensureEnvLoaded();
+    std::lock_guard<std::mutex> lk(fpMu);
+    return loadEnvLocked();
+}
+
+std::uint64_t
+failpointHits(const std::string &site)
+{
+    ensureEnvLoaded();
+    std::lock_guard<std::mutex> lk(fpMu);
+    const auto it = registry().find(site);
+    return it == registry().end() ? 0 : it->second.hits;
+}
+
+std::uint64_t
+failpointFires(const std::string &site)
+{
+    ensureEnvLoaded();
+    std::lock_guard<std::mutex> lk(fpMu);
+    const auto it = registry().find(site);
+    return it == registry().end() ? 0 : it->second.fires;
+}
+
+} // namespace zkphire::rt

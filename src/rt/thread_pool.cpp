@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "rt/config.hpp"
+#include "rt/failpoint.hpp"
 #include "rt/numa.hpp"
 
 namespace zkphire::rt {
@@ -89,6 +90,7 @@ ThreadPool::drainChunks(Job &j)
         }
         if (!failed) { // after a failure, drain remaining chunks unexecuted
             try {
+                failpoint("rt.worker");
                 (*j.body)(j.begin + c * j.grain, j.begin + (c + 1) * j.grain,
                           c);
             } catch (...) {
@@ -146,6 +148,8 @@ ThreadPool::forChunks(std::size_t begin, std::size_t end, std::size_t grain,
         for (std::size_t c = 0; c < numChunks; ++c) {
             std::size_t b = begin + c * grain;
             std::size_t e = b + grain < end ? b + grain : end;
+            failpoint("rt.worker"); // same site as the pooled path, so a
+                                    // schedule covers both execution modes
             body(b, e, c);
         }
         return;

@@ -3,6 +3,8 @@
 #include <cassert>
 
 #include "ff/batch_inverse.hpp"
+#include "rt/cancel.hpp"
+#include "rt/failpoint.hpp"
 #include "rt/parallel.hpp"
 #include "rt/unit_runner.hpp"
 
@@ -233,6 +235,10 @@ prove(VirtualPoly poly, hash::Transcript &tr, const rt::Config &cfg,
 
     std::vector<Fr> evals = roundEvaluations(poly, degree, path);
     for (unsigned round = 0; round < mu; ++round) {
+        // Round boundary: transcript state is consistent between rounds, so
+        // both cancellation delivery and fault injection land here.
+        rt::checkCancel();
+        rt::failpoint("sumcheck.round");
         if (round == 0) {
             out.proof.claimedSum = evals[0] + evals[1];
             tr.appendFr("sc/claim", out.proof.claimedSum);
